@@ -1,0 +1,28 @@
+//! Wall-clock cost of replica comparison: Algorithm 1's O(1) COMPARE vs
+//! the classic O(n) element-wise scan, at n = 1024.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use optrep_core::{RotatingVector, SiteId, Srv};
+
+fn bench_compare(c: &mut Criterion) {
+    let mut a = Srv::new();
+    for i in 0..1024 {
+        RotatingVector::record_update(&mut a, SiteId::new(i));
+    }
+    let mut b = a.clone();
+    RotatingVector::record_update(&mut b, SiteId::new(0));
+    let (av, bv) = (a.to_version_vector(), b.to_version_vector());
+
+    let mut group = c.benchmark_group("compare_n1024");
+    group.sample_size(50);
+    group.bench_function("rotating_O1", |bench| {
+        bench.iter(|| black_box(&a).compare(black_box(&b)))
+    });
+    group.bench_function("classic_On", |bench| {
+        bench.iter(|| black_box(&av).compare(black_box(&bv)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Wall-clock cost of causal-graph synchronization: incremental SYNCG vs
+//! the traditional full-graph transfer, on a 1000-op history diverged by
+//! 10 operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use optrep_core::SiteId;
+use optrep_replication::OpReplica;
+
+fn pair() -> (OpReplica, OpReplica) {
+    let mut b = OpReplica::new(SiteId::new(0));
+    b.record("create");
+    for i in 1..1000 {
+        b.record(format!("op{i}"));
+    }
+    let a = OpReplica::replica_of(SiteId::new(1), &b);
+    for i in 0..10 {
+        b.record(format!("new{i}"));
+    }
+    (a, b)
+}
+
+fn bench_graph_sync(c: &mut Criterion) {
+    let (a, b) = pair();
+    let mut group = c.benchmark_group("graph_sync_L1000_d10");
+    group.sample_size(20);
+    group.bench_function("SYNCG", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut a| a.sync_from(&b).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut a| a.sync_from_full(&b).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_sync);
+criterion_main!(benches);

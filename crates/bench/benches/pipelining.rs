@@ -1,0 +1,37 @@
+//! Wall-clock throughput of the discrete-event simulator running a
+//! pipelined vs a stop-and-wait SYNCB exchange (k = 256 elements over a
+//! 5 ms link). The *virtual* durations are the object of experiment E2;
+//! this bench tracks that simulating them stays cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optrep_core::rotating::{Brv, RotatingVector};
+use optrep_core::sync::sender::VectorSender;
+use optrep_core::sync::{FlowControl, SyncBReceiver};
+use optrep_core::SiteId;
+use optrep_net::sim::{SimConfig, SimLink};
+
+fn run(flow: FlowControl) {
+    let mut b = Brv::new();
+    for i in 0..256 {
+        b.record_update(SiteId::new(i));
+    }
+    let a = Brv::new();
+    let relation = a.compare(&b);
+    let tx = VectorSender::with_flow(b, flow);
+    let rx = SyncBReceiver::with_flow(a, relation, flow).unwrap();
+    let mut link = SimLink::new(tx, rx, SimConfig::symmetric(5_000_000, None));
+    link.run().unwrap();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_syncb_k256");
+    group.sample_size(30);
+    group.bench_function("pipelined", |bench| bench.iter(|| run(FlowControl::Pipelined)));
+    group.bench_function("stop_and_wait", |bench| {
+        bench.iter(|| run(FlowControl::StopAndWait))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

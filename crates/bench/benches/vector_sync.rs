@@ -1,0 +1,90 @@
+//! Wall-clock cost of one vector synchronization, per scheme.
+//!
+//! Two regimes: a realistic small delta (|Δ| = 4 out of n = 256 elements)
+//! and the adversarial worst case (all elements differ). The rotating
+//! schemes should be flat-ish in n for small deltas; FULL is O(n) always.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use optrep_core::sync::drive::{sync_brv, sync_crv, sync_full, sync_srv};
+use optrep_core::{Brv, Crv, RotatingVector, SiteId, Srv, VersionVector};
+
+fn diverged<V: RotatingVector + Default>(n: u32, d: u32) -> (V, V) {
+    let mut a = V::default();
+    for i in 0..n {
+        a.record_update(SiteId::new(i));
+    }
+    let mut b = a.clone();
+    for i in 0..d {
+        b.record_update(SiteId::new(i));
+    }
+    (a, b)
+}
+
+fn bench_small_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_small_delta_n256_d4");
+    group.sample_size(30);
+    let (a, b) = diverged::<Brv>(256, 4);
+    group.bench_function("BRV", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut a| sync_brv(&mut a, &b).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let (a, b) = diverged::<Crv>(256, 4);
+    group.bench_function("CRV", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut a| sync_crv(&mut a, &b).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let (a, b) = diverged::<Srv>(256, 4);
+    group.bench_function("SRV", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut a| sync_srv(&mut a, &b).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut av = VersionVector::new();
+    let mut bv = VersionVector::new();
+    for i in 0..256 {
+        av.increment(SiteId::new(i));
+        bv.increment(SiteId::new(i));
+    }
+    for i in 0..4 {
+        bv.increment(SiteId::new(i));
+    }
+    group.bench_function("FULL", |bench| {
+        bench.iter_batched(
+            || av.clone(),
+            |mut a| sync_full(&mut a, &bv).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_worst_case_n256");
+    group.sample_size(30);
+    let b = {
+        let mut b = Srv::default();
+        for i in 0..256 {
+            RotatingVector::record_update(&mut b, SiteId::new(i));
+        }
+        b
+    };
+    group.bench_function("SRV_all_new", |bench| {
+        bench.iter_batched(
+            Srv::new,
+            |mut a| sync_srv(&mut a, &b).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_delta, bench_worst_case);
+criterion_main!(benches);

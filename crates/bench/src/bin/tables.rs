@@ -1,0 +1,42 @@
+//! Prints the paper's tables and figures from live runs.
+//!
+//! ```text
+//! tables all          # every experiment, in document order
+//! tables t2 e4 f2     # a selection
+//! tables --list       # available ids
+//! ```
+
+use optrep_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: tables [all | --list | <experiment id>...]");
+        eprintln!("ids: {}", experiments::ALL.join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        let mut ids = Vec::new();
+        for arg in &args {
+            if !experiments::is_known(arg) {
+                eprintln!("unknown experiment {arg:?}; known ids: {}", experiments::ALL.join(" "));
+                std::process::exit(2);
+            }
+            ids.push(arg.as_str());
+        }
+        ids
+    };
+    for id in ids {
+        for table in experiments::run(id) {
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! E1 — the §3.2 worked example: why BRV breaks under reconciliation and
+//! how CRV's conflict bit repairs it.
+//!
+//! θ1 = ⟨A:2, B:1⟩ and θ2 = ⟨B:2, A:1⟩ are concurrent. Forcing `SYNCB`
+//! to reconcile them once produces θ3 = ⟨A:2, B:2⟩ correctly, but the
+//! *next* `SYNCB_θ3(θ1)` halts at the A element (rotated to the front
+//! with an unchanged value) and leaves `θ1[B]` stale. `SYNCC` tags B during
+//! the reconciliation and streams past it later.
+
+use crate::table::Table;
+use optrep_core::rotating::{elem, Brv, Crv, RotatingVector};
+use optrep_core::sync::drive::sync_crv;
+use optrep_core::sync::{Endpoint, Msg, SyncBReceiver};
+use optrep_core::sync::sender::VectorSender;
+use optrep_core::{Causality, SiteId};
+
+const A: SiteId = SiteId::new(0);
+const B: SiteId = SiteId::new(1);
+
+/// Runs `SYNCB` with the concurrency precondition bypassed, as the paper
+/// does to demonstrate the failure ("we can remove the a ∦ b requirement
+/// without compromising correctness… however correctness does not hold
+/// for subsequent SYNCB calls").
+fn force_syncb(a: &mut Brv, b: &Brv) {
+    let mut tx = VectorSender::new(b.clone());
+    // Lie about the relation to get past the guard — the whole point of
+    // the demonstration.
+    let mut rx = SyncBReceiver::new(a.clone(), Causality::Before).expect("forced");
+    loop {
+        let mut progress = false;
+        while let Some(m) = rx.poll_send() {
+            tx.on_receive(m).expect("demo");
+            progress = true;
+        }
+        if let Some(m) = tx.poll_send() {
+            if matches!(m, Msg::ElemB { .. } | Msg::Halt) {
+                rx.on_receive(m).expect("demo");
+            }
+            progress = true;
+        }
+        if tx.is_done() && rx.is_done() {
+            break;
+        }
+        assert!(progress, "demo protocol stalled");
+    }
+    let (vec, _) = rx.finish();
+    *a = vec;
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E1: §3.2 example — BRV loses θ1[B] after reconciliation; CRV does not",
+        &["step", "BRV", "CRV"],
+    );
+
+    // BRV line. SYNCB_θ1(θ2): θ2 is the receiver, θ1 the sender.
+    let t1_brv = Brv::from_order([elem(A, 2), elem(B, 1)]);
+    let t2_brv = Brv::from_order([elem(B, 2), elem(A, 1)]);
+    let mut t3_brv = t2_brv.clone();
+    force_syncb(&mut t3_brv, &t1_brv);
+    let mut t1_again_brv = t1_brv.clone();
+    force_syncb(&mut t1_again_brv, &t3_brv);
+
+    // CRV line.
+    let t1_crv = Crv::from_order([elem(A, 2), elem(B, 1)]);
+    let t2_crv = Crv::from_order([elem(B, 2), elem(A, 1)]);
+    let mut t3_crv = t2_crv.clone();
+    sync_crv(&mut t3_crv, &t1_crv).expect("crv reconciliation");
+    let mut t1_again_crv = t1_crv.clone();
+    sync_crv(&mut t1_again_crv, &t3_crv).expect("crv follow-up");
+
+    table.row([
+        "θ3 := SYNC_θ1(θ2)".to_string(),
+        t3_brv.to_string(),
+        t3_crv.to_string(),
+    ]);
+    table.row([
+        "SYNC_θ3(θ1): θ1[B]".to_string(),
+        t1_again_brv.value(B).to_string(),
+        t1_again_crv.value(B).to_string(),
+    ]);
+    table.row([
+        "θ1 fully synchronized?".to_string(),
+        (t1_again_brv.value(B) == 2).to_string(),
+        (t1_again_crv.value(B) == 2).to_string(),
+    ]);
+    assert_eq!(t1_again_brv.value(B), 1, "BRV must exhibit the failure");
+    assert_eq!(t1_again_crv.value(B), 2, "CRV must fix it");
+    table.note("BRV halts at the front element (A:2, value unchanged by rotation), hiding B:2");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn demonstrates_the_paper_example() {
+        let tables = super::run();
+        assert_eq!(tables[0].len(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! E3 — metadata bytes per synchronization vs the number of sites `n`.
+//!
+//! The paper's motivating claim (§1): traditional full-vector exchange
+//! costs O(n) per sync, so systems with thousands of sites pay for the
+//! whole vector even when almost nothing changed. The rotating vectors
+//! pay `O(|Δ|)`. This experiment holds the divergence `d` (number of
+//! recently updated elements) fixed and sweeps `n`.
+
+use crate::table::Table;
+use optrep_core::sync::drive::{sync_brv, sync_crv, sync_full, sync_srv};
+use optrep_core::{Brv, Crv, RotatingVector, SiteId, Srv, VersionVector};
+
+/// Builds `(a, b)` where both share a legal `n`-element history (one
+/// causal chain of updates across sites) and `b` additionally saw fresh
+/// updates from `d` distinct sites.
+fn diverged_pair<V: RotatingVector + Default>(n: u32, d: u32) -> (V, V) {
+    let mut a = V::default();
+    for i in 0..n {
+        a.record_update(SiteId::new(i));
+    }
+    let mut b = a.clone();
+    for i in 0..d {
+        b.record_update(SiteId::new(i));
+    }
+    (a, b)
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "E3: metadata bytes per sync vs n (divergence d elements, a ≺ b)",
+        &["n", "d", "FULL", "BRV", "CRV", "SRV", "FULL/SRV"],
+    );
+    for &n in &[8u32, 32, 128, 512, 2048] {
+        for &d in &[1u32, 8] {
+            let d = d.min(n);
+            let (mut a, b) = diverged_pair::<Brv>(n, d);
+            let brv = sync_brv(&mut a, &b).expect("brv").total_bytes();
+            let (mut a, b) = diverged_pair::<Crv>(n, d);
+            let crv = sync_crv(&mut a, &b).expect("crv").total_bytes();
+            let (mut a, b) = diverged_pair::<Srv>(n, d);
+            let srv = sync_srv(&mut a, &b).expect("srv").total_bytes();
+
+            let mut av = VersionVector::new();
+            let mut bv = VersionVector::new();
+            for i in 0..n {
+                av.increment(SiteId::new(i));
+                bv.increment(SiteId::new(i));
+            }
+            for i in 0..d {
+                bv.increment(SiteId::new(i));
+            }
+            let full = sync_full(&mut av, &bv).expect("full").total_bytes();
+
+            table.row([
+                n.to_string(),
+                d.to_string(),
+                full.to_string(),
+                brv.to_string(),
+                crv.to_string(),
+                srv.to_string(),
+                crate::table::ratio(full as f64, srv as f64),
+            ]);
+        }
+    }
+    table.note("rotating vectors transfer |Δ|+1 elements; FULL transfers all n — O(n) growth");
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn full_grows_rotating_does_not() {
+        let tables = super::run();
+        assert_eq!(tables[0].len(), 10);
+    }
+}

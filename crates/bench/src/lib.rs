@@ -1,0 +1,19 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each experiment of the DESIGN.md index (T1, T2, F1–F3, E1–E7, A1, A2)
+//! is implemented in [`experiments`] and printed as a paper-style table by
+//! the `tables` binary:
+//!
+//! ```text
+//! cargo run -p optrep-bench --bin tables -- all
+//! cargo run -p optrep-bench --bin tables -- t2 e4
+//! ```
+//!
+//! Wall-clock microbenchmarks live in `benches/` (Criterion): vector
+//! synchronization, O(1) COMPARE, graph synchronization and the simulated
+//! pipelining runs.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,184 @@
+//! Algorithm 1 — `COMPARE(a, b)` in O(1) time, space and communication.
+//!
+//! Rotating vectors remember (through `≺`) the site that made the latest
+//! update: the first element `⌊v⌋`. That is enough to decide causality with
+//! two element lookups instead of the classic O(n) scan: if `u_a ≤ b[l_a]`
+//! then `b` already knows the latest update `a` knows about, hence knows
+//! *everything* `a` knows (Schwarz & Mattern, Lemma 3.4).
+//!
+//! Besides the local [`compare_first_elements`], this module provides the
+//! distributed [`CompareExchange`] micro-protocol, which transfers exactly
+//! two elements (the paper's `2·log(mn)` bits) plus an O(1) verdict flag.
+
+use crate::causality::Causality;
+use crate::order::{Element, RotCore};
+
+/// Algorithm 1: compares two rotating vectors using only their first
+/// elements and two value lookups.
+///
+/// Empty vectors (no updates yet) are handled as the identity: an empty
+/// vector equals another empty vector and precedes any non-empty one.
+pub fn compare_first_elements(a: &RotCore, b: &RotCore) -> Causality {
+    match (a.first(), b.first()) {
+        (None, None) => Causality::Equal,
+        (None, Some(_)) => Causality::Before,
+        (Some(_), None) => Causality::After,
+        (Some(fa), Some(fb)) => {
+            let (la, ua) = (fa.site, fa.value); // (l_a, u_a) ← ⌊a⌋
+            let (lb, ub) = (fb.site, fb.value); // (l_b, u_b) ← ⌊b⌋
+            if ua == b.value(la) && a.value(lb) == ub {
+                Causality::Equal
+            } else if ua <= b.value(la) {
+                Causality::Before
+            } else if ub <= a.value(lb) {
+                Causality::After
+            } else {
+                Causality::Concurrent
+            }
+        }
+    }
+}
+
+/// The first flight of the distributed comparison: site A's first element
+/// (or `None` for an empty vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompareRequest {
+    /// `⌊a⌋`, absent when A's vector is empty.
+    pub first: Option<(crate::site::SiteId, u64)>,
+}
+
+/// The reply flight: site B's first element plus B's half of the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompareReply {
+    /// `⌊b⌋`, absent when B's vector is empty.
+    pub first: Option<(crate::site::SiteId, u64)>,
+    /// `u_a ≤ b[l_a]` evaluated at B.
+    pub a_known_to_b: bool,
+    /// `u_a = b[l_a]` evaluated at B.
+    pub a_first_equal: bool,
+}
+
+/// Distributed `COMPARE` between two sites.
+///
+/// The exchange is: A sends [`CompareRequest`] (one element), B answers
+/// with [`CompareReply`] (one element + two bits), and A derives the
+/// verdict locally — `2·log(mn) + O(1)` bits in total, independent of `n`.
+///
+/// ```
+/// use optrep_core::compare::CompareExchange;
+/// use optrep_core::{Brv, RotatingVector, SiteId, Causality};
+/// let mut a = Brv::new();
+/// let mut b = Brv::new();
+/// a.record_update(SiteId::new(0));
+/// b.record_update(SiteId::new(1));
+/// let req = CompareExchange::request(&a);
+/// let reply = CompareExchange::reply(&b, &req);
+/// assert_eq!(CompareExchange::verdict(&a, &reply), Causality::Concurrent);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CompareExchange;
+
+impl CompareExchange {
+    /// Builds A's request from its vector.
+    pub fn request<V: crate::rotating::RotatingVector>(a: &V) -> CompareRequest {
+        CompareRequest {
+            first: a.first().map(|e| (e.site, e.value)),
+        }
+    }
+
+    /// Builds B's reply, evaluating B's half of Algorithm 1.
+    pub fn reply<V: crate::rotating::RotatingVector>(
+        b: &V,
+        req: &CompareRequest,
+    ) -> CompareReply {
+        let (a_known_to_b, a_first_equal) = match req.first {
+            None => (true, b.is_empty()),
+            Some((la, ua)) => (ua <= b.value(la), ua == b.value(la)),
+        };
+        CompareReply {
+            first: b.first().map(|e| (e.site, e.value)),
+            a_known_to_b,
+            a_first_equal,
+        }
+    }
+
+    /// A's final verdict from B's reply — Algorithm 1 reassembled.
+    pub fn verdict<V: crate::rotating::RotatingVector>(
+        a: &V,
+        reply: &CompareReply,
+    ) -> Causality {
+        let (b_known_to_a, b_first_equal) = match reply.first {
+            None => (true, a.is_empty()),
+            Some((lb, ub)) => (ub <= a.value(lb), ub == a.value(lb)),
+        };
+        if reply.a_first_equal && b_first_equal {
+            Causality::Equal
+        } else if reply.a_known_to_b {
+            Causality::Before
+        } else if b_known_to_a {
+            Causality::After
+        } else {
+            Causality::Concurrent
+        }
+    }
+}
+
+/// Returns the elements a distributed comparison transfers: always at most
+/// two, independent of vector size. Used by the benchmark harness for
+/// byte accounting of experiment E7.
+pub fn compare_transfer_elements(a: &RotCore, b: &RotCore) -> Vec<Element> {
+    a.first().into_iter().chain(b.first()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotating::{elem, Brv, RotatingVector};
+    use crate::site::SiteId;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn distributed_compare_matches_local_all_outcomes() {
+        // Equal
+        let a = Brv::from_order([elem(s(0), 1)]);
+        let b = a.clone();
+        check(&a, &b, Causality::Equal);
+        // Before / After
+        let b2 = Brv::from_order([elem(s(1), 1), elem(s(0), 1)]);
+        check(&a, &b2, Causality::Before);
+        check(&b2, &a, Causality::After);
+        // Concurrent
+        let c = Brv::from_order([elem(s(1), 1)]);
+        check(&a, &c, Causality::Concurrent);
+    }
+
+    #[test]
+    fn distributed_compare_empty_cases() {
+        let empty = Brv::new();
+        let full = Brv::from_order([elem(s(0), 1)]);
+        check(&empty, &empty.clone(), Causality::Equal);
+        check(&empty, &full, Causality::Before);
+        check(&full, &empty, Causality::After);
+    }
+
+    fn check(a: &Brv, b: &Brv, expected: Causality) {
+        assert_eq!(a.compare(b), expected, "local compare");
+        let req = CompareExchange::request(a);
+        let reply = CompareExchange::reply(b, &req);
+        assert_eq!(CompareExchange::verdict(a, &reply), expected, "distributed");
+    }
+
+    #[test]
+    fn transfer_is_constant_size() {
+        let mut a = Brv::new();
+        let mut b = Brv::new();
+        for i in 0..100 {
+            a.record_update(s(i));
+            b.record_update(s(i + 100));
+        }
+        assert_eq!(compare_transfer_elements(a.as_core(), b.as_core()).len(), 2);
+    }
+}

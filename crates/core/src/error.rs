@@ -1,0 +1,154 @@
+//! Error types for protocol execution.
+
+use crate::site::SiteId;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while running a synchronization protocol or decoding its
+/// wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A protocol endpoint received a message kind it cannot handle in its
+    /// current state (e.g. a `SYNCS` element arriving at a `SYNCB` receiver).
+    UnexpectedMessage {
+        /// The protocol that rejected the message.
+        protocol: &'static str,
+        /// Human-readable description of the offending message.
+        message: String,
+    },
+    /// `SYNCB` was invoked on concurrent vectors, violating its `a ∦ b`
+    /// precondition. Repeated use on concurrent vectors is unsound (§3.2);
+    /// the receiver detects the concurrency up front and refuses.
+    ConcurrentVectors,
+    /// A segment-skip control message referenced a segment the peer cannot
+    /// have observed yet (receiver ahead of sender), indicating a corrupted
+    /// or misordered channel.
+    SkipAheadOfSender {
+        /// Segment index requested by the receiver.
+        requested: u64,
+        /// Segment index the sender had reached.
+        sender_at: u64,
+    },
+    /// `SYNCG` received a `skipto` for a node that is neither visited nor on
+    /// the DFS stack; the mirrored-stack invariant is broken.
+    SkipToUnknownNode,
+    /// The graphs handed to `SYNCG` do not share a source node, so no common
+    /// object history exists to synchronize.
+    DisjointGraphs,
+    /// A varint or message failed to decode.
+    Wire(WireError),
+    /// A protocol finished without reaching a halted state on both ends.
+    Incomplete {
+        /// The protocol that stalled.
+        protocol: &'static str,
+    },
+    /// An element mentioned a site whose value regressed, which no correct
+    /// peer can produce (values are monotone).
+    ValueRegression {
+        /// Site whose counter went backwards.
+        site: SiteId,
+    },
+}
+
+/// Errors raised while decoding wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Input ended in the middle of a value.
+    UnexpectedEof,
+    /// A varint ran past its maximum encodable length.
+    VarintOverflow,
+    /// An unknown message tag was encountered.
+    UnknownTag(u8),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedMessage { protocol, message } => {
+                write!(f, "{protocol}: unexpected message {message}")
+            }
+            Error::ConcurrentVectors => {
+                write!(f, "SYNCB requires comparable vectors (a ∦ b)")
+            }
+            Error::SkipAheadOfSender {
+                requested,
+                sender_at,
+            } => write!(
+                f,
+                "skip requested segment {requested} but sender is at {sender_at}"
+            ),
+            Error::SkipToUnknownNode => {
+                write!(f, "SYNCG skipto names a node absent from the DFS stack")
+            }
+            Error::DisjointGraphs => {
+                write!(f, "causal graphs share no source node")
+            }
+            Error::Wire(e) => write!(f, "wire decode failed: {e}"),
+            Error::Incomplete { protocol } => {
+                write!(f, "{protocol}: protocol ended before both endpoints halted")
+            }
+            Error::ValueRegression { site } => {
+                write!(f, "element value for site {site} regressed")
+            }
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+impl std::error::Error for WireError {}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs: Vec<Error> = vec![
+            Error::UnexpectedMessage {
+                protocol: "SYNCB",
+                message: "Skip".into(),
+            },
+            Error::ConcurrentVectors,
+            Error::SkipAheadOfSender {
+                requested: 3,
+                sender_at: 1,
+            },
+            Error::SkipToUnknownNode,
+            Error::DisjointGraphs,
+            Error::Wire(WireError::UnexpectedEof),
+            Error::Incomplete { protocol: "SYNCS" },
+            Error::ValueRegression {
+                site: SiteId::new(2),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn wire_error_converts() {
+        let e: Error = WireError::UnknownTag(0xff).into();
+        assert_eq!(e, Error::Wire(WireError::UnknownTag(0xff)));
+    }
+}

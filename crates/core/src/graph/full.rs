@@ -1,0 +1,125 @@
+//! The traditional baseline for causal graphs: ship the entire graph.
+//!
+//! "Traditionally, the entire graph is sent which brings much overhead in
+//! communication and processing, particularly when the size of the graph
+//! is large due to frequent updates or long object lifespan" (§6). This
+//! module measures that baseline with the same wire format as `SYNCG`, so
+//! experiment E6 compares like with like.
+
+use crate::error::{Error, Result};
+use crate::graph::syncg::GraphMsg;
+use crate::graph::{CausalGraph, GraphReport, NodeId};
+use crate::sync::WireMsg;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Merges the entirety of graph `b` into `a`, charging the wire cost of
+/// every node message plus the terminating `HALT` — the traditional
+/// full-graph exchange.
+///
+/// # Errors
+///
+/// Returns [`Error::DisjointGraphs`] if both graphs are non-empty but
+/// share no source node.
+pub fn sync_graph_full(a: &mut CausalGraph, b: &CausalGraph) -> Result<GraphReport> {
+    sync_graph_full_with_payloads(a, b, &HashMap::new())
+}
+
+/// Like [`sync_graph_full`], piggybacking operation payloads.
+///
+/// # Errors
+///
+/// Returns [`Error::DisjointGraphs`] if both graphs are non-empty but
+/// share no source node.
+pub fn sync_graph_full_with_payloads(
+    a: &mut CausalGraph,
+    b: &CausalGraph,
+    payloads: &HashMap<NodeId, Bytes>,
+) -> Result<GraphReport> {
+    if let (Some(sa), Some(sb)) = (a.source(), b.source()) {
+        if sa != sb {
+            return Err(Error::DisjointGraphs);
+        }
+    }
+    let mut report = GraphReport::default();
+    for (id, parents) in b.iter() {
+        let payload = payloads.get(&id).cloned().unwrap_or_default();
+        let msg = GraphMsg::Node {
+            id,
+            parents,
+            payload: payload.clone(),
+        };
+        report.transfer.bytes_forward += msg.encoded_len();
+        report.transfer.msgs_forward += 1;
+        report.transfer.elements_sent += 1;
+        report.nodes_sent += 1;
+        if a.contains(id) {
+            report.redundant_nodes += 1;
+        } else {
+            a.insert_remote(id, parents);
+            report.nodes_added += 1;
+            report.received.push((id, payload));
+        }
+    }
+    report.transfer.bytes_forward += GraphMsg::Halt.encoded_len();
+    report.transfer.msgs_forward += 1;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::sync_graph;
+    use crate::site::SiteId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::of(SiteId::new(0), i)
+    }
+
+    fn chain(len: u32) -> CausalGraph {
+        let mut g = CausalGraph::new();
+        g.record_root(n(0));
+        for i in 1..len {
+            g.record_op(n(i));
+        }
+        g
+    }
+
+    #[test]
+    fn full_transfer_merges_and_charges_everything() {
+        let mut a = chain(98);
+        let b = chain(100);
+        let report = sync_graph_full(&mut a, &b).unwrap();
+        assert_eq!(a.len(), 100);
+        assert_eq!(report.nodes_sent, 100);
+        assert_eq!(report.nodes_added, 2);
+        assert_eq!(report.redundant_nodes, 98);
+    }
+
+    #[test]
+    fn full_costs_dwarf_incremental_costs_on_small_deltas() {
+        let build = || (chain(98), chain(100));
+        let (mut a_full, b) = build();
+        let full = sync_graph_full(&mut a_full, &b).unwrap();
+        let (mut a_inc, b) = build();
+        let inc = sync_graph(&mut a_inc, &b).unwrap();
+        assert_eq!(a_full, a_inc);
+        assert!(
+            full.transfer.bytes_forward > 10 * inc.transfer.bytes_forward,
+            "full {} vs incremental {}",
+            full.transfer.bytes_forward,
+            inc.transfer.bytes_forward
+        );
+    }
+
+    #[test]
+    fn disjoint_graphs_rejected() {
+        let mut a = chain(2);
+        let mut b = CausalGraph::new();
+        b.record_root(NodeId::of(SiteId::new(9), 0));
+        assert!(matches!(
+            sync_graph_full(&mut a, &b),
+            Err(Error::DisjointGraphs)
+        ));
+    }
+}

@@ -1,0 +1,702 @@
+//! The ordered element store shared by all rotating-vector types.
+//!
+//! A rotating vector is a version vector paired with a total order `≺` of
+//! its elements (§3.1). [`RotCore`] stores elements in a slab with an
+//! intrusive doubly-linked list for the order and a hash index for O(1)
+//! site lookup, which matches the paper's complexity assumptions: O(1)
+//! lookup/insertion and O(n) storage (§3.3 "the total order can be
+//! implemented as a doubly linked list").
+//!
+//! Each element carries the *conflict bit* used by CRV (§3.2) and the
+//! *segment bit* used by SRV (§4); [`crate::Brv`] simply ignores them.
+//! The `ROTATE` operation implements the paper's modified rotation rule:
+//! when an element with its segment bit set moves, the bit is carried to
+//! its predecessor in `≺` so that segment boundaries survive rotation.
+
+use crate::error::WireError;
+use crate::site::SiteId;
+use crate::vv::VersionVector;
+use crate::wire;
+use bytes::{Bytes, BytesMut};
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+/// One element of a rotating vector: the pair `(i, v[i])` plus the CRV
+/// conflict bit and the SRV segment bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Element {
+    /// The site name `i`.
+    pub site: SiteId,
+    /// The value `v[i]`: number of updates made on site `i`.
+    pub value: u64,
+    /// CRV conflict bit `v.c[i]` (§3.2). Always `false` in a BRV.
+    pub conflict: bool,
+    /// SRV segment bit `v.s[i]` (§4): set on the last element of a segment.
+    /// Always `false` in a BRV or CRV.
+    pub segment: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slot {
+    site: SiteId,
+    value: u64,
+    conflict: bool,
+    segment: bool,
+    prev: u32,
+    next: u32,
+}
+
+/// Version-vector state with a maintained total order of elements.
+///
+/// `head` is the least (first) element `⌊v⌋` — the most recently updated —
+/// and `tail` is the greatest (last) element `⌈v⌉`. Values are monotone:
+/// elements are inserted on first update and never removed.
+#[derive(Debug, Clone)]
+pub struct RotCore {
+    slots: Vec<Slot>,
+    index: HashMap<SiteId, u32>,
+    head: u32,
+    tail: u32,
+}
+
+impl Default for RotCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RotCore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        RotCore {
+            slots: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of elements (sites with at least one update).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` iff no site has updated yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The value `v[i]`, zero if the site has no element yet.
+    pub fn value(&self, site: SiteId) -> u64 {
+        self.index
+            .get(&site)
+            .map(|&ix| self.slots[ix as usize].value)
+            .unwrap_or(0)
+    }
+
+    /// The full element for `site`, if present.
+    pub fn get(&self, site: SiteId) -> Option<Element> {
+        self.index.get(&site).map(|&ix| self.element(ix))
+    }
+
+    /// The least (first) element `⌊v⌋` in `≺` — the most recent update.
+    pub fn first(&self) -> Option<Element> {
+        (self.head != NIL).then(|| self.element(self.head))
+    }
+
+    /// The greatest (last) element `⌈v⌉` in `≺`.
+    pub fn last(&self) -> Option<Element> {
+        (self.tail != NIL).then(|| self.element(self.tail))
+    }
+
+    /// `true` iff `site` holds the last position in `≺` (`cur = ⌈v⌉`).
+    pub fn is_last(&self, site: SiteId) -> bool {
+        self.index
+            .get(&site)
+            .is_some_and(|&ix| self.slots[ix as usize].next == NIL)
+    }
+
+    /// The element directly following `site` in `≺` (`cur`'s successor in
+    /// Algorithms 2–4), or `None` if `site` is last or absent.
+    pub fn next_in_order(&self, site: SiteId) -> Option<Element> {
+        let &ix = self.index.get(&site)?;
+        let next = self.slots[ix as usize].next;
+        (next != NIL).then(|| self.element(next))
+    }
+
+    /// Iterates elements in `≺` order (first to last).
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            core: self,
+            cursor: self.head,
+        }
+    }
+
+    /// Records one local update on `site` (§3.1): increments `v[i]`,
+    /// clears the conflict bit ("reset whenever `v[i]` is incremented due
+    /// to a replica update"), clears the segment bit (the element joins the
+    /// open front segment), and performs `ROTATE(φ, i)` so the element
+    /// becomes `⌊v⌋`. Returns the new value.
+    pub fn record_update(&mut self, site: SiteId) -> u64 {
+        let ix = self.ensure(site);
+        let slot = &mut self.slots[ix as usize];
+        slot.value += 1;
+        let value = slot.value;
+        slot.conflict = false;
+        self.detach_with_carry(ix);
+        self.link_front(ix);
+        self.slots[ix as usize].segment = false;
+        value
+    }
+
+    /// The paper's `ROTATE(p, i)` with the §4 segment-carry rule: moves
+    /// `site`'s element so it directly follows `after` (or becomes `⌊v⌋`
+    /// when `after` is `None`, i.e. `p = φ`). If the moved element's
+    /// segment bit was set, the bit is carried to its former predecessor.
+    ///
+    /// Inserts the element (with value 0 and clear bits) if the site has no
+    /// element yet, which happens when a receiver learns of a new site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` names a site with no element — callers only ever
+    /// pass the previously rotated element (`prev` in Algorithms 2–4).
+    pub fn rotate(&mut self, after: Option<SiteId>, site: SiteId) {
+        let ix = self.ensure(site);
+        let after_ix = after.map(|p| {
+            *self
+                .index
+                .get(&p)
+                .expect("ROTATE(p, i): p must name an existing element")
+        });
+        if let Some(p) = after_ix {
+            if p == ix {
+                return; // already in place
+            }
+        }
+        self.detach_with_carry(ix);
+        match after_ix {
+            None => self.link_front(ix),
+            Some(p) => self.link_after(p, ix),
+        }
+    }
+
+    /// Overwrites the element fields for `site` (used by sync receivers
+    /// after [`rotate`](Self::rotate): `a[i] ← u_i; a.c[i] ← c_i;
+    /// a.s[i] ← s_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site has no element; receivers always rotate first,
+    /// which inserts it.
+    pub fn write(&mut self, site: SiteId, value: u64, conflict: bool, segment: bool) {
+        let ix = self.index[&site] as usize;
+        let slot = &mut self.slots[ix];
+        slot.value = value;
+        slot.conflict = conflict;
+        slot.segment = segment;
+    }
+
+    /// Sets the segment bit of `site`'s element (`a.s[prev] ← 1`, Alg. 4
+    /// line 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site has no element.
+    pub fn set_segment_bit(&mut self, site: SiteId) {
+        let ix = self.index[&site] as usize;
+        self.slots[ix].segment = true;
+    }
+
+    /// Sets the conflict bit of `site`'s element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site has no element.
+    pub fn set_conflict_bit(&mut self, site: SiteId) {
+        let ix = self.index[&site] as usize;
+        self.slots[ix].conflict = true;
+    }
+
+    /// Copies values (ignoring order and bits) into a plain
+    /// [`VersionVector`].
+    pub fn to_version_vector(&self) -> VersionVector {
+        self.iter()
+            .filter(|e| e.value > 0)
+            .map(|e| (e.site, e.value))
+            .collect()
+    }
+
+    /// Replaces this store with an exact structural copy of `other`
+    /// (values, order and bits). Used for whole-state adoption in manual
+    /// conflict resolution.
+    pub fn clone_from_other(&mut self, other: &RotCore) {
+        *self = other.clone();
+    }
+
+    /// Structural equality: same values, same `≺` order, same bits.
+    pub fn structurally_equal(&self, other: &RotCore) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+
+    /// Removes the elements of all sites rejected by `keep`, preserving
+    /// the order and bits of the remaining elements. Segment bits of
+    /// removed elements carry to their nearest remaining predecessor in
+    /// `≺`, mirroring the rotation rule, so segment structure stays sound.
+    ///
+    /// This is the §7 "removing inactive sites" extension (Ratner et al.,
+    /// Saito): correct only once every replica has agreed the site retired
+    /// and its updates are fully propagated — a distributed-membership
+    /// concern the caller owns. A peer that still carries the element will
+    /// simply re-introduce it on the next synchronization.
+    ///
+    /// Runs in O(n); pruning is a rare administrative action.
+    pub fn retain_sites(&mut self, keep: impl Fn(SiteId) -> bool) -> usize {
+        let mut kept: Vec<Element> = Vec::with_capacity(self.len());
+        let mut removed = 0;
+        for e in self.iter() {
+            if keep(e.site) {
+                kept.push(e);
+            } else {
+                removed += 1;
+                if e.segment {
+                    if let Some(prev) = kept.last_mut() {
+                        prev.segment = true;
+                    }
+                }
+            }
+        }
+        let mut rebuilt = RotCore::new();
+        for e in kept.into_iter().rev() {
+            rebuilt.rotate(None, e.site);
+            rebuilt.write(e.site, e.value, e.conflict, e.segment);
+        }
+        *self = rebuilt;
+        removed
+    }
+
+    /// Serializes the full store (values, order and bits) into a compact
+    /// snapshot for durable persistence: a varint element count followed
+    /// by `(site, value·4 | conflict·2 | segment)` varint pairs in `≺`
+    /// order.
+    pub fn encode_snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        wire::put_varint(&mut buf, self.len() as u64);
+        for e in self.iter() {
+            wire::put_varint(&mut buf, u64::from(e.site.index()));
+            wire::put_varint(
+                &mut buf,
+                e.value << 2 | u64::from(e.conflict) << 1 | u64::from(e.segment),
+            );
+        }
+        buf.freeze()
+    }
+
+    /// Rebuilds a store from [`encode_snapshot`](Self::encode_snapshot)
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated or malformed input.
+    pub fn decode_snapshot(buf: &mut Bytes) -> Result<RotCore, WireError> {
+        let n = wire::get_varint(buf)? as usize;
+        let mut elements = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let site = SiteId::new(wire::get_varint(buf)? as u32);
+            let packed = wire::get_varint(buf)?;
+            elements.push(Element {
+                site,
+                value: packed >> 2,
+                conflict: packed >> 1 & 1 == 1,
+                segment: packed & 1 == 1,
+            });
+        }
+        let mut core = RotCore::new();
+        for e in elements.into_iter().rev() {
+            core.rotate(None, e.site);
+            core.write(e.site, e.value, e.conflict, e.segment);
+        }
+        Ok(core)
+    }
+
+    /// The segments of this vector, in `≺` order: maximal runs ending at an
+    /// element with the segment bit set (the final run may be "open", i.e.
+    /// not terminated by a bit). Each segment is a list of elements.
+    pub fn segments(&self) -> Vec<Vec<Element>> {
+        let mut segments = Vec::new();
+        let mut current = Vec::new();
+        for e in self.iter() {
+            let boundary = e.segment;
+            current.push(e);
+            if boundary {
+                segments.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            segments.push(current);
+        }
+        segments
+    }
+
+    fn element(&self, ix: u32) -> Element {
+        let slot = &self.slots[ix as usize];
+        Element {
+            site: slot.site,
+            value: slot.value,
+            conflict: slot.conflict,
+            segment: slot.segment,
+        }
+    }
+
+    /// Index of `site`'s slot, inserting a zero-valued element at the back
+    /// of `≺` if absent.
+    fn ensure(&mut self, site: SiteId) -> u32 {
+        if let Some(&ix) = self.index.get(&site) {
+            return ix;
+        }
+        let ix = self.slots.len() as u32;
+        self.slots.push(Slot {
+            site,
+            value: 0,
+            conflict: false,
+            segment: false,
+            prev: self.tail,
+            next: NIL,
+        });
+        if self.tail != NIL {
+            self.slots[self.tail as usize].next = ix;
+        } else {
+            self.head = ix;
+        }
+        self.tail = ix;
+        self.index.insert(site, ix);
+        ix
+    }
+
+    /// Unlinks `ix` from the order, carrying its segment bit to its former
+    /// predecessor (§4: "when the element is rotated, the bit shall be
+    /// carried on to its predecessor in the order of ≺").
+    fn detach_with_carry(&mut self, ix: u32) {
+        let (prev, next, segment) = {
+            let slot = &self.slots[ix as usize];
+            (slot.prev, slot.next, slot.segment)
+        };
+        if segment && prev != NIL {
+            self.slots[prev as usize].segment = true;
+        }
+        self.slots[ix as usize].segment = false;
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        let slot = &mut self.slots[ix as usize];
+        slot.prev = NIL;
+        slot.next = NIL;
+    }
+
+    fn link_front(&mut self, ix: u32) {
+        let old_head = self.head;
+        {
+            let slot = &mut self.slots[ix as usize];
+            slot.prev = NIL;
+            slot.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = ix;
+        } else {
+            self.tail = ix;
+        }
+        self.head = ix;
+    }
+
+    fn link_after(&mut self, p: u32, ix: u32) {
+        let p_next = self.slots[p as usize].next;
+        {
+            let slot = &mut self.slots[ix as usize];
+            slot.prev = p;
+            slot.next = p_next;
+        }
+        self.slots[p as usize].next = ix;
+        if p_next != NIL {
+            self.slots[p_next as usize].prev = ix;
+        } else {
+            self.tail = ix;
+        }
+    }
+}
+
+impl PartialEq for RotCore {
+    fn eq(&self, other: &Self) -> bool {
+        self.structurally_equal(other)
+    }
+}
+
+impl Eq for RotCore {}
+
+/// Iterator over elements in `≺` order. Created by [`RotCore::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    core: &'a RotCore,
+    cursor: u32,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Element;
+
+    fn next(&mut self) -> Option<Element> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let e = self.core.element(self.cursor);
+        self.cursor = self.core.slots[self.cursor as usize].next;
+        Some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn order(core: &RotCore) -> Vec<(u32, u64)> {
+        core.iter().map(|e| (e.site.index(), e.value)).collect()
+    }
+
+    #[test]
+    fn empty_store() {
+        let core = RotCore::new();
+        assert!(core.is_empty());
+        assert_eq!(core.first(), None);
+        assert_eq!(core.last(), None);
+        assert_eq!(core.iter().count(), 0);
+    }
+
+    #[test]
+    fn record_update_rotates_to_front() {
+        let mut core = RotCore::new();
+        core.record_update(s(0)); // ⟨A:1⟩
+        core.record_update(s(1)); // ⟨B:1, A:1⟩
+        core.record_update(s(2)); // ⟨C:1, B:1, A:1⟩
+        assert_eq!(order(&core), vec![(2, 1), (1, 1), (0, 1)]);
+        core.record_update(s(0)); // ⟨A:2, C:1, B:1⟩
+        assert_eq!(order(&core), vec![(0, 2), (2, 1), (1, 1)]);
+        assert_eq!(core.first().unwrap().site, s(0));
+        assert_eq!(core.last().unwrap().site, s(1));
+    }
+
+    #[test]
+    fn record_update_clears_conflict_bit() {
+        let mut core = RotCore::new();
+        core.record_update(s(0));
+        core.set_conflict_bit(s(0));
+        assert!(core.get(s(0)).unwrap().conflict);
+        core.record_update(s(0));
+        assert!(!core.get(s(0)).unwrap().conflict);
+    }
+
+    #[test]
+    fn rotate_to_front_and_after() {
+        let mut core = RotCore::new();
+        for i in [0, 1, 2] {
+            core.record_update(s(i));
+        }
+        // order: C B A
+        core.rotate(None, s(0)); // A C B
+        assert_eq!(order(&core), vec![(0, 1), (2, 1), (1, 1)]);
+        core.rotate(Some(s(0)), s(1)); // A B C
+        assert_eq!(order(&core), vec![(0, 1), (1, 1), (2, 1)]);
+        // rotating an element after itself is a no-op
+        core.rotate(Some(s(1)), s(1));
+        assert_eq!(order(&core), vec![(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn rotate_inserts_unknown_site_with_zero_value() {
+        let mut core = RotCore::new();
+        core.record_update(s(0));
+        core.rotate(None, s(9));
+        assert_eq!(core.value(s(9)), 0);
+        assert_eq!(order(&core), vec![(9, 0), (0, 1)]);
+        core.write(s(9), 4, true, false);
+        let e = core.get(s(9)).unwrap();
+        assert_eq!((e.value, e.conflict, e.segment), (4, true, false));
+    }
+
+    #[test]
+    fn segment_bit_carries_to_predecessor_on_rotation() {
+        let mut core = RotCore::new();
+        // Build ⟨C:1, B:1, A:1⟩ with the segment boundary on A (last).
+        for i in [0, 1, 2] {
+            core.record_update(s(i));
+        }
+        core.set_segment_bit(s(0));
+        // Rotating A to the front must carry the bit to B.
+        core.record_update(s(0));
+        assert!(!core.get(s(0)).unwrap().segment, "moved element bit cleared");
+        assert!(core.get(s(1)).unwrap().segment, "bit carried to predecessor");
+        assert!(!core.get(s(2)).unwrap().segment);
+    }
+
+    #[test]
+    fn segment_bit_vanishes_with_front_singleton() {
+        let mut core = RotCore::new();
+        core.record_update(s(0));
+        core.set_segment_bit(s(0));
+        // A is the head; rotating it has no predecessor to carry to.
+        core.record_update(s(0));
+        assert!(!core.get(s(0)).unwrap().segment);
+        assert_eq!(core.segments().len(), 1);
+    }
+
+    #[test]
+    fn segments_split_on_bits() {
+        let mut core = RotCore::new();
+        for i in [4, 3, 2, 1, 0] {
+            core.record_update(s(i));
+        }
+        // order: A B C D E  — put boundaries after B and D.
+        core.set_segment_bit(s(1));
+        core.set_segment_bit(s(3));
+        let segs = core.segments();
+        let names: Vec<Vec<u32>> = segs
+            .iter()
+            .map(|seg| seg.iter().map(|e| e.site.index()).collect())
+            .collect();
+        assert_eq!(names, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn is_last_tracks_tail() {
+        let mut core = RotCore::new();
+        core.record_update(s(0));
+        core.record_update(s(1));
+        assert!(core.is_last(s(0)));
+        assert!(!core.is_last(s(1)));
+        assert!(!core.is_last(s(7)));
+    }
+
+    #[test]
+    fn to_version_vector_drops_order() {
+        let mut core = RotCore::new();
+        core.record_update(s(0));
+        core.record_update(s(1));
+        core.record_update(s(0));
+        let vv = core.to_version_vector();
+        assert_eq!(vv.value(s(0)), 2);
+        assert_eq!(vv.value(s(1)), 1);
+        assert_eq!(vv.len(), 2);
+    }
+
+    #[test]
+    fn structural_equality_requires_same_order() {
+        let mut a = RotCore::new();
+        let mut b = RotCore::new();
+        a.record_update(s(0));
+        a.record_update(s(1));
+        b.record_update(s(1));
+        b.record_update(s(0));
+        assert_eq!(a.to_version_vector(), b.to_version_vector());
+        assert!(!a.structurally_equal(&b));
+        assert_ne!(a, b);
+        let c = a.clone();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn retain_sites_preserves_order_and_carries_bits() {
+        let mut core = RotCore::new();
+        for i in [4, 3, 2, 1, 0] {
+            core.record_update(s(i));
+        }
+        // order: A B C D E; boundary on C and on E (tail).
+        core.set_segment_bit(s(2));
+        core.set_segment_bit(s(4));
+        core.set_conflict_bit(s(1));
+        // Retire C (boundary carrier) and E (tail boundary carrier).
+        let removed = core.retain_sites(|site| site != s(2) && site != s(4));
+        assert_eq!(removed, 2);
+        let order: Vec<u32> = core.iter().map(|e| e.site.index()).collect();
+        assert_eq!(order, vec![0, 1, 3]);
+        // C's bit carried to B; E's bit carried to D.
+        assert!(core.get(s(1)).unwrap().segment);
+        assert!(core.get(s(3)).unwrap().segment);
+        assert!(core.get(s(1)).unwrap().conflict, "other bits untouched");
+        assert_eq!(core.segments().len(), 2);
+    }
+
+    #[test]
+    fn retain_sites_dropping_everything() {
+        let mut core = RotCore::new();
+        core.record_update(s(0));
+        assert_eq!(core.retain_sites(|_| false), 1);
+        assert!(core.is_empty());
+        assert_eq!(core.first(), None);
+        // Still usable afterwards.
+        core.record_update(s(1));
+        assert_eq!(core.len(), 1);
+    }
+
+    #[test]
+    fn retain_sites_noop_when_all_kept() {
+        let mut core = RotCore::new();
+        for i in 0..5 {
+            core.record_update(s(i));
+        }
+        let copy = core.clone();
+        assert_eq!(core.retain_sites(|_| true), 0);
+        assert_eq!(core, copy);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let mut core = RotCore::new();
+        for i in [3, 1, 4, 1, 5, 9, 2, 6] {
+            core.record_update(s(i));
+        }
+        core.set_conflict_bit(s(4));
+        core.set_segment_bit(s(1));
+        let bytes = core.encode_snapshot();
+        let mut buf = bytes;
+        let decoded = RotCore::decode_snapshot(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert!(core.structurally_equal(&decoded));
+    }
+
+    #[test]
+    fn snapshot_of_empty_store() {
+        let core = RotCore::new();
+        let mut buf = core.encode_snapshot();
+        let decoded = RotCore::decode_snapshot(&mut buf).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let mut core = RotCore::new();
+        core.record_update(s(300));
+        let bytes = core.encode_snapshot();
+        for cut in 0..bytes.len() {
+            let mut buf = bytes.slice(0..cut);
+            assert!(RotCore::decode_snapshot(&mut buf).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn single_element_rotate_keeps_list_sane() {
+        let mut core = RotCore::new();
+        core.record_update(s(0));
+        core.record_update(s(0));
+        assert_eq!(order(&core), vec![(0, 2)]);
+        assert_eq!(core.first(), core.last());
+    }
+}

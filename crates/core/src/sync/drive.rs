@@ -1,0 +1,598 @@
+//! Deterministic driver for synchronization endpoints.
+//!
+//! [`TickHarness`] connects two [`Endpoint`]s through a pair of FIFO
+//! queues and runs the protocol to completion in one of two regimes:
+//!
+//! * **Lockstep** (both latencies zero, no bandwidth cap — the default):
+//!   every message is delivered and reacted to before the sender emits the
+//!   next one. This is the *ideal* pipelining regime the paper's
+//!   communication analysis assumes — a `HALT`/`SKIP` stops the sender
+//!   instantly, so the byte counts are exactly the protocol's intrinsic
+//!   cost (`O(|Δ|)`, `O(|Δ|+|Γ|)`, `O(|Δ|+γ)`).
+//! * **Timed**: per-direction latency in abstract *ticks* and an optional
+//!   bandwidth cap (messages per tick). This regime reproduces the §3.1
+//!   pipelining phenomena: completion time `setup + rtt` vs `k·rtt` for
+//!   stop-and-wait, and the `β = bandwidth × rtt` excess bytes streamed
+//!   while a reply is in flight, reported as [`SyncReport::excess_bytes`].
+//!
+//! The convenience functions [`sync_brv`], [`sync_crv`], [`sync_srv`] and
+//! [`sync_full`] run a complete one-directional synchronization
+//! (`SYNC*_b(a)`: `a` is modified) and return a byte-accurate
+//! [`SyncReport`]. For experiments over real (simulated or threaded)
+//! transports, see the `optrep-net` crate.
+
+use crate::causality::Causality;
+use crate::error::{Error, Result};
+use crate::rotating::{Brv, Crv, RotatingVector, Srv};
+use crate::sync::sender::VectorSender;
+use crate::sync::{
+    Endpoint, FlowControl, FullReceiver, FullSender, ProtocolMsg, ReceiverStats,
+    SyncBReceiver, SyncCReceiver, SyncSReceiver,
+};
+use crate::vv::VersionVector;
+use std::collections::VecDeque;
+
+/// Options for a driven synchronization run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncOptions {
+    /// Flow-control mode (pipelined by default, per the paper).
+    pub flow: FlowControl,
+    /// Delivery latency sender → receiver, in ticks.
+    pub latency_forward: u64,
+    /// Delivery latency receiver → sender, in ticks.
+    pub latency_backward: u64,
+    /// Messages the sender may put on the wire per tick (`None` =
+    /// unlimited). Only meaningful with non-zero latency.
+    pub bandwidth: Option<u64>,
+}
+
+impl SyncOptions {
+    /// `true` when the run uses the ideal lockstep regime.
+    fn is_lockstep(&self) -> bool {
+        self.latency_forward == 0 && self.latency_backward == 0 && self.bandwidth.is_none()
+    }
+}
+
+/// Byte-accurate account of one synchronization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Causal relation of the receiver's vector vs the sender's, before
+    /// the run.
+    pub relation: Option<Causality>,
+    /// Encoded bytes sent sender → receiver.
+    pub bytes_forward: usize,
+    /// Encoded bytes sent receiver → sender.
+    pub bytes_backward: usize,
+    /// Messages sent sender → receiver.
+    pub msgs_forward: usize,
+    /// Messages sent receiver → sender.
+    pub msgs_backward: usize,
+    /// Element messages emitted by the sender.
+    pub elements_sent: usize,
+    /// Receiver-side counters (`|Δ|`, `|Γ|`, γ).
+    pub receiver: ReceiverStats,
+    /// Virtual completion time in ticks (zero in the lockstep regime).
+    pub ticks: u64,
+    /// Bytes of element messages put on the wire at or after the moment
+    /// the receiver emitted its first `HALT`/`SKIP` — the paper's β excess
+    /// transmission. Zero in the lockstep regime.
+    pub excess_bytes: usize,
+}
+
+impl SyncReport {
+    /// Total encoded bytes in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_forward + self.bytes_backward
+    }
+}
+
+#[derive(Debug)]
+struct InFlight<M> {
+    deliver_at: u64,
+    msg: M,
+}
+
+/// Deterministic two-endpoint driver. See the module docs for the two
+/// regimes.
+#[derive(Debug)]
+pub struct TickHarness<S, R>
+where
+    S: Endpoint,
+{
+    sender: S,
+    receiver: R,
+    opts: SyncOptions,
+    now: u64,
+    fwd: VecDeque<InFlight<S::Msg>>,
+    bwd: VecDeque<InFlight<S::Msg>>,
+    first_nak_at: Option<u64>,
+    report: SyncReport,
+}
+
+impl<S, R, M> TickHarness<S, R>
+where
+    M: ProtocolMsg,
+    S: Endpoint<Msg = M>,
+    R: Endpoint<Msg = M>,
+{
+    /// Creates a harness over a sender/receiver pair.
+    pub fn new(sender: S, receiver: R, opts: SyncOptions) -> Self {
+        TickHarness {
+            sender,
+            receiver,
+            opts,
+            now: 0,
+            fwd: VecDeque::new(),
+            bwd: VecDeque::new(),
+            first_nak_at: None,
+            report: SyncReport::default(),
+        }
+    }
+
+    /// Runs the protocol to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates endpoint errors, and returns [`Error::Incomplete`] if
+    /// neither endpoint can make progress before both have halted.
+    pub fn run(&mut self) -> Result<()> {
+        if self.opts.is_lockstep() {
+            self.run_lockstep()
+        } else {
+            self.run_timed()
+        }
+    }
+
+    /// Ideal regime: each sender message is delivered and fully reacted to
+    /// before the next one is emitted.
+    fn run_lockstep(&mut self) -> Result<()> {
+        loop {
+            // Let the receiver speak first (replies from the previous
+            // message, including the initial state).
+            let mut progress = false;
+            while let Some(m) = self.receiver.poll_send() {
+                self.account_backward(&m);
+                self.sender.on_receive(m)?;
+                progress = true;
+            }
+            if let Some(m) = self.sender.poll_send() {
+                self.account_forward(&m);
+                self.receiver.on_receive(m)?;
+                progress = true;
+            }
+            if self.sender.is_done() && self.receiver.is_done() {
+                return Ok(());
+            }
+            if !progress {
+                return Err(Error::Incomplete {
+                    protocol: "sync harness",
+                });
+            }
+        }
+    }
+
+    /// Timed regime: latency and optional bandwidth pacing.
+    fn run_timed(&mut self) -> Result<()> {
+        loop {
+            let mut progress = false;
+
+            // Deliver everything due at `now` (FIFO per direction).
+            while self.fwd.front().is_some_and(|f| f.deliver_at <= self.now) {
+                let f = self.fwd.pop_front().expect("checked front");
+                self.receiver.on_receive(f.msg)?;
+                progress = true;
+            }
+            while self.bwd.front().is_some_and(|f| f.deliver_at <= self.now) {
+                let f = self.bwd.pop_front().expect("checked front");
+                self.sender.on_receive(f.msg)?;
+                progress = true;
+            }
+
+            // Receiver replies are small control messages: not paced.
+            while let Some(m) = self.receiver.poll_send() {
+                if self.first_nak_at.is_none() && m.is_nak() {
+                    self.first_nak_at = Some(self.now);
+                }
+                self.account_backward(&m);
+                self.bwd.push_back(InFlight {
+                    deliver_at: self.now + self.opts.latency_backward,
+                    msg: m,
+                });
+                progress = true;
+            }
+
+            // Sender output, paced by bandwidth.
+            let limit = self.opts.bandwidth.unwrap_or(u64::MAX);
+            let mut sent = 0;
+            while sent < limit {
+                match self.sender.poll_send() {
+                    Some(m) => {
+                        if m.is_payload() && self.first_nak_at.is_some() {
+                            self.report.excess_bytes += m.encoded_len();
+                        }
+                        self.account_forward(&m);
+                        self.fwd.push_back(InFlight {
+                            deliver_at: self.now + self.opts.latency_forward,
+                            msg: m,
+                        });
+                        sent += 1;
+                        progress = true;
+                    }
+                    None => break,
+                }
+            }
+            let throttled = self.opts.bandwidth.is_some() && sent == limit;
+
+            if self.sender.is_done()
+                && self.receiver.is_done()
+                && self.fwd.is_empty()
+                && self.bwd.is_empty()
+            {
+                self.report.ticks = self.now;
+                return Ok(());
+            }
+
+            if throttled {
+                self.now += 1;
+            } else if !progress {
+                // Advance virtual time to the next delivery.
+                let next = self
+                    .fwd
+                    .front()
+                    .map(|f| f.deliver_at)
+                    .into_iter()
+                    .chain(self.bwd.front().map(|f| f.deliver_at))
+                    .min();
+                match next {
+                    Some(t) if t > self.now => self.now = t,
+                    _ => {
+                        return Err(Error::Incomplete {
+                            protocol: "sync harness",
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn account_forward(&mut self, m: &M) {
+        self.report.bytes_forward += m.encoded_len();
+        self.report.msgs_forward += 1;
+        if m.is_payload() {
+            self.report.elements_sent += 1;
+        }
+    }
+
+    fn account_backward(&mut self, m: &M) {
+        self.report.bytes_backward += m.encoded_len();
+        self.report.msgs_backward += 1;
+    }
+
+    /// Decomposes the harness after a run.
+    pub fn into_parts(self) -> (S, R, SyncReport) {
+        (self.sender, self.receiver, self.report)
+    }
+}
+
+macro_rules! sync_fn {
+    ($(#[$doc:meta])* $name:ident, $name_opts:ident, $vec:ty, $rx_new:expr) => {
+        $(#[$doc])*
+        pub fn $name(a: &mut $vec, b: &$vec) -> Result<SyncReport> {
+            $name_opts(a, b, SyncOptions::default())
+        }
+
+        /// Like the plain variant, with explicit [`SyncOptions`].
+        ///
+        /// # Errors
+        ///
+        /// Propagates protocol errors; on error `a` is left unchanged.
+        pub fn $name_opts(a: &mut $vec, b: &$vec, opts: SyncOptions) -> Result<SyncReport> {
+            let relation = a.compare(b);
+            let sender = VectorSender::with_flow(b.clone(), opts.flow);
+            #[allow(clippy::redundant_closure_call)]
+            let receiver = ($rx_new)(a.clone(), relation, opts.flow)?;
+            let mut harness = TickHarness::new(sender, receiver, opts);
+            harness.run()?;
+            let (_, rx, mut report) = harness.into_parts();
+            let (vec, stats) = rx.finish();
+            *a = vec;
+            report.relation = Some(relation);
+            report.receiver = stats;
+            Ok(report)
+        }
+    };
+}
+
+sync_fn! {
+    /// Runs `SYNCB_b(a)` to completion: `a` becomes `max(a, b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ConcurrentVectors`] if `a ∥ b` (the `SYNCB`
+    /// precondition, §3.1) and propagates protocol errors.
+    sync_brv, sync_brv_opts, Brv,
+    SyncBReceiver::with_flow
+}
+
+sync_fn! {
+    /// Runs `SYNCC_b(a)` to completion: `a` becomes the element-wise
+    /// maximum of `a` and `b`, reconciling concurrent vectors.
+    ///
+    /// After a reconciliation (`a ∥ b`), the caller must record a local
+    /// update on the hosting site (Parker §C) to restore the front-element
+    /// invariant — the replication layer in `optrep-replication` does this
+    /// automatically.
+    sync_crv, sync_crv_opts, Crv,
+    |vec, relation, flow| Ok::<_, Error>(SyncCReceiver::with_flow(vec, relation, flow))
+}
+
+sync_fn! {
+    /// Runs `SYNCS_b(a)` to completion: like [`sync_crv`] but skipping
+    /// whole known segments (optimal `O(|Δ|+γ)` communication).
+    sync_srv, sync_srv_opts, Srv,
+    |vec, relation, flow| Ok::<_, Error>(SyncSReceiver::with_flow(vec, relation, flow))
+}
+
+/// Runs the traditional full-vector baseline: `a` merges the entirety of
+/// `b`.
+///
+/// # Errors
+///
+/// Propagates protocol errors.
+pub fn sync_full(a: &mut VersionVector, b: &VersionVector) -> Result<SyncReport> {
+    sync_full_opts(a, b, SyncOptions::default())
+}
+
+/// Like [`sync_full`], with explicit [`SyncOptions`].
+///
+/// # Errors
+///
+/// Propagates protocol errors.
+pub fn sync_full_opts(
+    a: &mut VersionVector,
+    b: &VersionVector,
+    opts: SyncOptions,
+) -> Result<SyncReport> {
+    let relation = a.compare(b);
+    let sender = FullSender::new(b.clone());
+    let receiver = FullReceiver::new(a.clone());
+    let mut harness = TickHarness::new(sender, receiver, opts);
+    harness.run()?;
+    let (_, rx, mut report) = harness.into_parts();
+    let (vec, stats) = rx.finish();
+    *a = vec;
+    report.relation = Some(relation);
+    report.receiver = stats;
+    report.elements_sent = stats.elements_received;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotating::elem;
+    use crate::site::SiteId;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn sync_brv_forward() {
+        let mut a = Brv::from_order([elem(s(0), 1)]);
+        let b = Brv::from_order([elem(s(2), 1), elem(s(1), 1), elem(s(0), 1)]);
+        let report = sync_brv(&mut a, &b).unwrap();
+        assert_eq!(a, b, "Theorem 3.1: c = b when a ≺ b");
+        assert_eq!(report.relation, Some(Causality::Before));
+        assert_eq!(report.receiver.delta, 2);
+        assert!(report.bytes_forward > 0);
+    }
+
+    #[test]
+    fn sync_brv_no_op_when_ahead() {
+        let b = Brv::from_order([elem(s(0), 1)]);
+        let mut a = Brv::from_order([elem(s(2), 1), elem(s(1), 1), elem(s(0), 1)]);
+        let before = a.clone();
+        let report = sync_brv(&mut a, &b).unwrap();
+        assert_eq!(a, before, "Theorem 3.1: c = a when b ⪯ a");
+        assert_eq!(report.receiver.delta, 0);
+        // Lockstep: exactly one element crosses before HALT stops the run.
+        assert_eq!(report.elements_sent, 1);
+    }
+
+    #[test]
+    fn lockstep_sends_only_delta_plus_one() {
+        // b has 100 elements, a lags by 3: ideal pipelining transfers the
+        // 3 new elements plus the one that triggers HALT.
+        let mut b = Brv::new();
+        for i in 0..100 {
+            b.record_update(s(i));
+        }
+        let mut a = b.clone();
+        for i in 100..103 {
+            b.record_update(s(i));
+        }
+        let report = sync_brv(&mut a, &b).unwrap();
+        assert_eq!(report.receiver.delta, 3);
+        assert_eq!(report.elements_sent, 4, "|Δ| + 1 halting element");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sync_brv_rejects_concurrent() {
+        let mut a = Brv::from_order([elem(s(0), 1)]);
+        let b = Brv::from_order([elem(s(1), 1)]);
+        assert_eq!(sync_brv(&mut a, &b), Err(Error::ConcurrentVectors));
+    }
+
+    #[test]
+    fn sync_crv_reconciles_paper_example() {
+        // §3.2: θ3 := SYNCC_θ2(θ1) gives ⟨B̄:2, A:2⟩.
+        let mut t1 = Crv::from_order([elem(s(0), 2), elem(s(1), 1)]);
+        let t2 = Crv::from_order([elem(s(1), 2), elem(s(0), 1)]);
+        let report = sync_crv(&mut t1, &t2).unwrap();
+        assert_eq!(report.relation, Some(Causality::Concurrent));
+        assert_eq!(t1.value(s(0)), 2);
+        assert_eq!(t1.value(s(1)), 2);
+        assert!(t1.as_core().get(s(1)).unwrap().conflict);
+        // Then SYNCC_θ3(θ1) correctly brings θ1 up to date, which SYNCB
+        // would not (it would halt at the stale front element).
+        let t3 = t1.clone();
+        let mut t1_again = Crv::from_order([elem(s(0), 2), elem(s(1), 1)]);
+        sync_crv(&mut t1_again, &t3).unwrap();
+        assert_eq!(t1_again.value(s(1)), 2, "θ1[B] synchronized");
+    }
+
+    #[test]
+    fn sync_srv_merges_values() {
+        let mut a = Srv::new();
+        let mut b = Srv::new();
+        for _ in 0..3 {
+            b.record_update(s(1));
+        }
+        a.record_update(s(0));
+        let report = sync_srv(&mut a, &b).unwrap();
+        assert_eq!(a.value(s(0)), 1);
+        assert_eq!(a.value(s(1)), 3);
+        assert_eq!(report.receiver.delta, 1);
+    }
+
+    #[test]
+    fn sync_full_baseline_costs_whole_vector() {
+        let mut a = VersionVector::new();
+        let mut b = VersionVector::new();
+        for i in 0..50 {
+            b.increment(s(i));
+        }
+        a.increment(s(0));
+        let report = sync_full(&mut a, &b).unwrap();
+        assert_eq!(report.receiver.elements_received, 50);
+        assert_eq!(a.len(), 50);
+        assert!(report.bytes_forward > 100, "50 pairs on the wire");
+    }
+
+    #[test]
+    fn latency_changes_completion_time_not_result() {
+        let build = || {
+            let mut b = Srv::new();
+            for i in 0..10 {
+                b.record_update(s(i));
+            }
+            let mut a = Srv::new();
+            a.record_update(s(0));
+            (a, b)
+        };
+        let (mut a0, b0) = build();
+        let fast = sync_srv_opts(&mut a0, &b0, SyncOptions::default()).unwrap();
+        let (mut a1, b1) = build();
+        let slow = sync_srv_opts(
+            &mut a1,
+            &b1,
+            SyncOptions {
+                latency_forward: 50,
+                latency_backward: 50,
+                ..SyncOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a0, a1, "latency must not affect the outcome");
+        assert!(slow.ticks > fast.ticks);
+    }
+
+    #[test]
+    fn stop_and_wait_matches_pipelined_result() {
+        let build = || {
+            let mut b = Crv::new();
+            for i in 0..8 {
+                b.record_update(s(i % 3));
+            }
+            (Crv::new(), b)
+        };
+        let (mut a0, b0) = build();
+        sync_crv_opts(&mut a0, &b0, SyncOptions::default()).unwrap();
+        let (mut a1, b1) = build();
+        let opts = SyncOptions {
+            flow: FlowControl::StopAndWait,
+            latency_forward: 1,
+            latency_backward: 1,
+            bandwidth: None,
+        };
+        let report = sync_crv_opts(&mut a1, &b1, opts).unwrap();
+        assert_eq!(a0, a1);
+        assert!(report.msgs_backward >= 3, "per-element acks on the wire");
+    }
+
+    #[test]
+    fn pipelined_beats_stop_and_wait_on_latency() {
+        let build = || {
+            let mut b = Brv::new();
+            for i in 0..16 {
+                b.record_update(s(i));
+            }
+            (Brv::new(), b)
+        };
+        let lat = SyncOptions {
+            latency_forward: 10,
+            latency_backward: 10,
+            ..SyncOptions::default()
+        };
+        let (mut a0, b0) = build();
+        let piped = sync_brv_opts(&mut a0, &b0, lat).unwrap();
+        let (mut a1, b1) = build();
+        let saw = sync_brv_opts(
+            &mut a1,
+            &b1,
+            SyncOptions {
+                flow: FlowControl::StopAndWait,
+                ..lat
+            },
+        )
+        .unwrap();
+        assert_eq!(a0, a1);
+        // Stop-and-wait pays ~one rtt per element; pipelining ~one total.
+        assert!(
+            saw.ticks >= piped.ticks + 10 * 14,
+            "saw {} vs piped {}",
+            saw.ticks,
+            piped.ticks
+        );
+    }
+
+    #[test]
+    fn excess_bytes_counted_under_latency() {
+        // Receiver is fully up to date: it NAKs the first element while the
+        // bandwidth-paced sender keeps streaming for a round trip.
+        let mut b = Brv::new();
+        for i in 0..32 {
+            b.record_update(s(i));
+        }
+        let mut a = b.clone();
+        let report = sync_brv_opts(
+            &mut a,
+            &b,
+            SyncOptions {
+                latency_forward: 5,
+                latency_backward: 5,
+                bandwidth: Some(1),
+                ..SyncOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.excess_bytes > 0, "β excess while HALT in flight");
+        // β ≈ bandwidth × rtt: 1 msg/tick × 10 ticks ≈ 10 small elements.
+        assert!(report.excess_bytes <= 3 * 12, "bounded by ~β");
+        assert_eq!(a, b, "result unaffected by the overrun");
+    }
+
+    #[test]
+    fn lockstep_has_no_excess() {
+        let mut b = Brv::new();
+        for i in 0..32 {
+            b.record_update(s(i));
+        }
+        let mut a = b.clone();
+        let report = sync_brv(&mut a, &b).unwrap();
+        assert_eq!(report.excess_bytes, 0);
+        assert_eq!(report.elements_sent, 1, "HALT stops the sender at once");
+    }
+}

@@ -1,0 +1,176 @@
+//! The traditional baseline: ship the entire vector.
+//!
+//! "Traditionally, the entire metadata is sent" (§1): one
+//! [`Msg::FullVector`] carrying all `n` elements, merged element-wise at
+//! the receiver. Communication is `O(n)` regardless of how little the two
+//! vectors differ — the overhead the rotating implementations eliminate.
+
+use crate::error::Result;
+use crate::sync::{unexpected, Endpoint, Msg, ReceiverStats};
+use crate::vv::VersionVector;
+use std::collections::VecDeque;
+
+/// Sender endpoint for the full-vector baseline: emits the whole vector in
+/// one message, then `HALT`.
+#[derive(Debug, Clone)]
+pub struct FullSender {
+    vec: VersionVector,
+    outbox: VecDeque<Msg>,
+    started: bool,
+    done: bool,
+}
+
+impl FullSender {
+    /// Creates a sender for vector `b`.
+    pub fn new(vec: VersionVector) -> Self {
+        FullSender {
+            vec,
+            outbox: VecDeque::new(),
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Reclaims the (unmodified) vector.
+    pub fn into_vector(self) -> VersionVector {
+        self.vec
+    }
+}
+
+impl Endpoint for FullSender {
+    type Msg = Msg;
+
+    fn poll_send(&mut self) -> Option<Msg> {
+        if !self.started {
+            self.started = true;
+            let mut pairs: Vec<_> = self.vec.iter().collect();
+            pairs.sort_unstable();
+            self.outbox.push_back(Msg::FullVector { pairs });
+            self.outbox.push_back(Msg::Halt);
+        }
+        let msg = self.outbox.pop_front();
+        if self.outbox.is_empty() {
+            self.done = true;
+        }
+        msg
+    }
+
+    fn on_receive(&mut self, msg: Msg) -> Result<()> {
+        match msg {
+            Msg::Halt | Msg::Continue => Ok(()),
+            other => Err(unexpected("FULL", &other)),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Receiver endpoint for the full-vector baseline: merges the incoming
+/// vector element-wise (`a[i] ← max(a[i], b[i])`).
+#[derive(Debug, Clone)]
+pub struct FullReceiver {
+    vec: VersionVector,
+    done: bool,
+    stats: ReceiverStats,
+}
+
+impl FullReceiver {
+    /// Creates a receiver for vector `a`.
+    pub fn new(vec: VersionVector) -> Self {
+        FullReceiver {
+            vec,
+            done: false,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Consumes the receiver, returning the merged vector and statistics.
+    /// `gamma` counts the elements received without advancing a value —
+    /// with full transfer that is everything outside `Δ`.
+    pub fn finish(self) -> (VersionVector, ReceiverStats) {
+        (self.vec, self.stats)
+    }
+}
+
+impl Endpoint for FullReceiver {
+    type Msg = Msg;
+
+    fn poll_send(&mut self) -> Option<Msg> {
+        None
+    }
+
+    fn on_receive(&mut self, msg: Msg) -> Result<()> {
+        match msg {
+            Msg::FullVector { pairs } => {
+                self.stats.elements_received += pairs.len();
+                for (site, value) in pairs {
+                    if value > self.vec.value(site) {
+                        self.vec.set(site, value);
+                        self.stats.delta += 1;
+                    } else {
+                        self.stats.gamma += 1;
+                    }
+                }
+                Ok(())
+            }
+            Msg::Halt => {
+                self.done = true;
+                Ok(())
+            }
+            other => Err(unexpected("FULL", &other)),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteId;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn full_transfer_merges_elementwise() {
+        let a = VersionVector::from_pairs([(s(0), 5), (s(1), 1)]);
+        let b = VersionVector::from_pairs([(s(0), 2), (s(1), 4), (s(2), 1)]);
+        let mut tx = FullSender::new(b);
+        let mut rx = FullReceiver::new(a);
+        while let Some(m) = tx.poll_send() {
+            rx.on_receive(m).unwrap();
+        }
+        assert!(tx.is_done() && rx.is_done());
+        let (out, stats) = rx.finish();
+        assert_eq!(
+            out,
+            VersionVector::from_pairs([(s(0), 5), (s(1), 4), (s(2), 1)])
+        );
+        assert_eq!(stats.delta, 2);
+        assert_eq!(stats.gamma, 1);
+        assert_eq!(stats.elements_received, 3);
+    }
+
+    #[test]
+    fn empty_vector_transfer() {
+        let mut tx = FullSender::new(VersionVector::new());
+        let mut rx = FullReceiver::new(VersionVector::new());
+        while let Some(m) = tx.poll_send() {
+            rx.on_receive(m).unwrap();
+        }
+        let (out, _) = rx.finish();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn receiver_rejects_element_messages() {
+        let mut rx = FullReceiver::new(VersionVector::new());
+        assert!(rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! The sending side of `SYNCB`, `SYNCC` and `SYNCS`.
+//!
+//! The three algorithms share the same sender structure ("Same as SYNCB
+//! except that `cur` becomes a triple/quadruple"): iterate the elements in
+//! `≺` order, streaming each one, until a `HALT` arrives or the last
+//! element has been sent. The `SYNCS` sender additionally honors `SKIP`
+//! requests by fast-forwarding to the current segment's boundary.
+//! [`VectorSender`] is generic over the vector type; [`SyncVector`] selects
+//! the element message and enables skip handling only for [`Srv`].
+
+use crate::error::{Error, Result};
+use crate::order::Element;
+use crate::rotating::{Brv, Crv, RotatingVector, Srv};
+use crate::site::SiteId;
+use crate::sync::{unexpected, Endpoint, FlowControl, Msg};
+use std::collections::VecDeque;
+
+/// Vector types that can drive a [`VectorSender`]. Sealed via
+/// [`RotatingVector`]; implemented by [`Brv`] (`SYNCB`), [`Crv`] (`SYNCC`)
+/// and [`Srv`] (`SYNCS`).
+pub trait SyncVector: RotatingVector {
+    /// Protocol name used in error reports.
+    const PROTOCOL: &'static str;
+    /// Whether the protocol understands `SKIP` (only `SYNCS` does).
+    const SUPPORTS_SKIP: bool;
+
+    /// Builds the element message for this protocol (pair, triple or
+    /// quadruple).
+    fn element_msg(e: Element) -> Msg;
+}
+
+impl SyncVector for Brv {
+    const PROTOCOL: &'static str = "SYNCB";
+    const SUPPORTS_SKIP: bool = false;
+
+    fn element_msg(e: Element) -> Msg {
+        Msg::ElemB {
+            site: e.site,
+            value: e.value,
+        }
+    }
+}
+
+impl SyncVector for Crv {
+    const PROTOCOL: &'static str = "SYNCC";
+    const SUPPORTS_SKIP: bool = false;
+
+    fn element_msg(e: Element) -> Msg {
+        Msg::ElemC {
+            site: e.site,
+            value: e.value,
+            conflict: e.conflict,
+        }
+    }
+}
+
+impl SyncVector for Srv {
+    const PROTOCOL: &'static str = "SYNCS";
+    const SUPPORTS_SKIP: bool = true;
+
+    fn element_msg(e: Element) -> Msg {
+        Msg::ElemS {
+            site: e.site,
+            value: e.value,
+            conflict: e.conflict,
+            segment: e.segment,
+        }
+    }
+}
+
+/// Sender endpoint for `SYNC*_b(a)`: streams vector `b`'s elements in `≺`
+/// order ("On b's hosting site").
+///
+/// The sender never mutates its vector; reclaim it with
+/// [`into_vector`](Self::into_vector) after the run.
+#[derive(Debug, Clone)]
+pub struct VectorSender<V> {
+    vec: V,
+    /// Site of the next element to process, `None` once exhausted.
+    cursor: Option<SiteId>,
+    /// Number of segment boundaries passed (`segs`, Alg. 4).
+    segs: u64,
+    /// Currently fast-forwarding over a skipped segment (`skipping`).
+    skipping: bool,
+    outbox: VecDeque<Msg>,
+    done: bool,
+    flow: FlowControl,
+    credits: u32,
+    elements_sent: usize,
+    skipped_elements: usize,
+}
+
+impl<V: SyncVector> VectorSender<V> {
+    /// Creates a pipelined sender for vector `b`.
+    pub fn new(vec: V) -> Self {
+        Self::with_flow(vec, FlowControl::Pipelined)
+    }
+
+    /// Creates a sender with an explicit flow-control mode.
+    pub fn with_flow(vec: V, flow: FlowControl) -> Self {
+        let cursor = vec.first().map(|e| e.site);
+        VectorSender {
+            vec,
+            cursor,
+            segs: 0,
+            skipping: false,
+            outbox: VecDeque::new(),
+            done: false,
+            flow,
+            // Stop-and-wait starts with one credit for the first element.
+            credits: 1,
+            elements_sent: 0,
+            skipped_elements: 0,
+        }
+    }
+
+    /// Reclaims the (unmodified) vector.
+    pub fn into_vector(self) -> V {
+        self.vec
+    }
+
+    /// Number of element messages emitted so far.
+    pub fn elements_sent(&self) -> usize {
+        self.elements_sent
+    }
+
+    /// Number of elements fast-forwarded over due to skips.
+    pub fn skipped_elements(&self) -> usize {
+        self.skipped_elements
+    }
+
+    /// Processes the element at the cursor: one iteration of the sender
+    /// loop in Algorithms 2–4.
+    fn step(&mut self) {
+        let site = match self.cursor {
+            Some(site) => site,
+            None => {
+                // Empty vector: nothing to send but HALT.
+                self.outbox.push_back(Msg::Halt);
+                self.done = true;
+                return;
+            }
+        };
+        let e = self
+            .vec
+            .as_core()
+            .get(site)
+            .expect("cursor names an existing element");
+        if self.skipping {
+            self.skipped_elements += 1;
+        } else {
+            self.outbox.push_back(V::element_msg(e));
+            self.elements_sent += 1;
+            if self.flow == FlowControl::StopAndWait {
+                self.credits -= 1;
+            }
+        }
+        if e.segment {
+            // End of the current segment: if it was being skipped, tell the
+            // receiver so both `segs` counters stay aligned.
+            if self.skipping {
+                self.outbox.push_back(Msg::SegSkipped { seg: self.segs });
+            }
+            self.segs += 1;
+            self.skipping = false;
+        }
+        if self.vec.as_core().is_last(site) {
+            // `cur = ⌈b⌉`: send HALT and halt. If the final (open) segment
+            // was being skipped, close the books on it first.
+            if self.skipping {
+                self.outbox.push_back(Msg::SegSkipped { seg: self.segs });
+                self.skipping = false;
+            }
+            self.outbox.push_back(Msg::Halt);
+            self.done = true;
+        }
+        self.cursor = self
+            .vec
+            .as_core()
+            .next_in_order(site)
+            .map(|next| next.site);
+    }
+}
+
+impl<V: SyncVector> Endpoint for VectorSender<V> {
+    type Msg = Msg;
+
+    fn poll_send(&mut self) -> Option<Msg> {
+        loop {
+            if let Some(m) = self.outbox.pop_front() {
+                return Some(m);
+            }
+            if self.done {
+                return None;
+            }
+            // Sending the next element requires a credit under
+            // stop-and-wait; fast-forwarding over skipped elements does not.
+            if self.flow == FlowControl::StopAndWait && !self.skipping && self.credits == 0 {
+                return None;
+            }
+            self.step();
+        }
+    }
+
+    fn on_receive(&mut self, msg: Msg) -> Result<()> {
+        if self.done {
+            // Late replies to already-streamed elements; the protocol is
+            // over on this side.
+            return Ok(());
+        }
+        match msg {
+            Msg::Halt => {
+                self.done = true;
+                self.outbox.clear();
+                Ok(())
+            }
+            Msg::Continue => {
+                self.credits += 1;
+                Ok(())
+            }
+            Msg::Skip { seg } if V::SUPPORTS_SKIP => {
+                if seg > self.segs {
+                    return Err(Error::SkipAheadOfSender {
+                        requested: seg,
+                        sender_at: self.segs,
+                    });
+                }
+                // A stale skip (`seg < segs`) refers to a segment whose
+                // boundary was already streamed; ignore it (Alg. 4: skip
+                // only if `arg = segs`).
+                if seg == self.segs {
+                    self.skipping = true;
+                    if self.flow == FlowControl::StopAndWait {
+                        // The skip reply also grants the next send credit.
+                        self.credits += 1;
+                    }
+                }
+                Ok(())
+            }
+            other => Err(unexpected(V::PROTOCOL, &other)),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done && self.outbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotating::elem;
+    use crate::order::Element;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn drain<V: SyncVector>(sender: &mut VectorSender<V>) -> Vec<Msg> {
+        let mut out = Vec::new();
+        while let Some(m) = sender.poll_send() {
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn empty_vector_sends_only_halt() {
+        let mut sender = VectorSender::new(Brv::new());
+        assert_eq!(drain(&mut sender), vec![Msg::Halt]);
+        assert!(sender.is_done());
+    }
+
+    #[test]
+    fn streams_elements_in_order_then_halt() {
+        let v = Brv::from_order([elem(s(2), 3), elem(s(0), 2), elem(s(1), 1)]);
+        let mut sender = VectorSender::new(v);
+        assert_eq!(
+            drain(&mut sender),
+            vec![
+                Msg::ElemB { site: s(2), value: 3 },
+                Msg::ElemB { site: s(0), value: 2 },
+                Msg::ElemB { site: s(1), value: 1 },
+                Msg::Halt,
+            ]
+        );
+        assert_eq!(sender.elements_sent(), 3);
+    }
+
+    #[test]
+    fn halts_on_receiver_halt() {
+        let v = Brv::from_order([elem(s(0), 1), elem(s(1), 1), elem(s(2), 1)]);
+        let mut sender = VectorSender::new(v);
+        let first = sender.poll_send().unwrap();
+        assert!(first.is_element());
+        sender.on_receive(Msg::Halt).unwrap();
+        assert_eq!(sender.poll_send(), None);
+        assert!(sender.is_done());
+    }
+
+    #[test]
+    fn stop_and_wait_requires_credits() {
+        let v = Crv::from_order([elem(s(0), 2), elem(s(1), 1)]);
+        let mut sender = VectorSender::with_flow(v, FlowControl::StopAndWait);
+        assert!(sender.poll_send().unwrap().is_element());
+        assert_eq!(sender.poll_send(), None, "waits for Continue");
+        sender.on_receive(Msg::Continue).unwrap();
+        assert!(sender.poll_send().unwrap().is_element());
+        // After the last element, HALT flows without credit.
+        assert_eq!(sender.poll_send(), Some(Msg::Halt));
+        assert!(sender.is_done());
+    }
+
+    #[test]
+    fn skip_fast_forwards_to_segment_boundary() {
+        // Segments: [A:2, B:2 |][C:1, D:1 |][E:1]
+        let v = Srv::from_order([
+            elem(s(0), 2),
+            Element { site: s(1), value: 2, conflict: false, segment: true },
+            elem(s(2), 1),
+            Element { site: s(3), value: 1, conflict: false, segment: true },
+            elem(s(4), 1),
+        ]);
+        let mut sender = VectorSender::new(v);
+        // Send the first element of segment 0, then the receiver asks to
+        // skip segment 0.
+        let m = sender.poll_send().unwrap();
+        assert!(matches!(m, Msg::ElemS { site, .. } if site == s(0)));
+        sender.on_receive(Msg::Skip { seg: 0 }).unwrap();
+        let rest = drain(&mut sender);
+        // B:2 is skipped; a SegSkipped(0) marker is emitted at the boundary.
+        assert_eq!(rest[0], Msg::SegSkipped { seg: 0 });
+        assert!(matches!(rest[1], Msg::ElemS { site, .. } if site == s(2)));
+        assert!(matches!(rest[2], Msg::ElemS { site, .. } if site == s(3)));
+        assert!(matches!(rest[3], Msg::ElemS { site, .. } if site == s(4)));
+        assert_eq!(rest[4], Msg::Halt);
+        assert_eq!(sender.skipped_elements(), 1);
+    }
+
+    #[test]
+    fn stale_skip_is_ignored() {
+        let v = Srv::from_order([
+            Element { site: s(0), value: 1, conflict: false, segment: true },
+            elem(s(1), 1),
+        ]);
+        let mut sender = VectorSender::new(v);
+        // Stream everything first: sender has passed segment 0 entirely.
+        let all = drain(&mut sender);
+        assert_eq!(all.len(), 3); // two elements + Halt
+        // A late skip for segment 0 must not error or change anything.
+        let mut sender2 = VectorSender::new(Srv::from_order([
+            Element { site: s(0), value: 1, conflict: false, segment: true },
+            elem(s(1), 1),
+        ]));
+        let _ = sender2.poll_send().unwrap(); // A:1 (boundary passed, segs=1)
+        sender2.on_receive(Msg::Skip { seg: 0 }).unwrap();
+        let m = sender2.poll_send().unwrap();
+        assert!(m.is_element(), "stale skip ignored, keeps streaming: {m:?}");
+    }
+
+    #[test]
+    fn skip_ahead_of_sender_is_an_error() {
+        let v = Srv::from_order([elem(s(0), 1)]);
+        let mut sender = VectorSender::new(v);
+        let err = sender.on_receive(Msg::Skip { seg: 5 }).unwrap_err();
+        assert_eq!(
+            err,
+            Error::SkipAheadOfSender {
+                requested: 5,
+                sender_at: 0
+            }
+        );
+    }
+
+    #[test]
+    fn skip_rejected_by_non_srv_protocols() {
+        let mut sender = VectorSender::new(Brv::from_order([elem(s(0), 1)]));
+        assert!(sender.on_receive(Msg::Skip { seg: 0 }).is_err());
+        let mut sender = VectorSender::new(Crv::from_order([elem(s(0), 1)]));
+        assert!(sender.on_receive(Msg::Skip { seg: 0 }).is_err());
+    }
+
+    #[test]
+    fn skip_of_final_open_segment_emits_marker_before_halt() {
+        // One closed segment then an open tail.
+        let v = Srv::from_order([
+            Element { site: s(0), value: 1, conflict: false, segment: true },
+            elem(s(1), 1),
+            elem(s(2), 1),
+        ]);
+        let mut sender = VectorSender::new(v);
+        let _ = sender.poll_send().unwrap(); // A:1, boundary → segs=1
+        let m = sender.poll_send().unwrap(); // B:1 (segment 1 begins)
+        assert!(matches!(m, Msg::ElemS { site, .. } if site == s(1)));
+        sender.on_receive(Msg::Skip { seg: 1 }).unwrap();
+        let rest = drain(&mut sender);
+        assert_eq!(rest, vec![Msg::SegSkipped { seg: 1 }, Msg::Halt]);
+    }
+
+    #[test]
+    fn into_vector_returns_unmodified_vector() {
+        let v = Crv::from_order([elem(s(0), 2), elem(s(1), 1)]);
+        let copy = v.clone();
+        let mut sender = VectorSender::new(v);
+        let _ = drain(&mut sender);
+        assert_eq!(sender.into_vector(), copy);
+    }
+}

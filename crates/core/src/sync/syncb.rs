@@ -1,0 +1,200 @@
+//! Algorithm 2 — `SYNCB_b(a)`, the receiving side ("On a's hosting site").
+//!
+//! The receiver applies elements in the order they arrive, rotating each
+//! behind the previously applied one, until it receives an element it
+//! already knows (`u_i ≤ a[i]`), at which point it replies `HALT`.
+//!
+//! `SYNCB` requires `a ∦ b`: synchronizing concurrent vectors with it is
+//! correct once, but corrupts the order for *subsequent* syncs (§3.2's
+//! θ1/θ2/θ3 example). [`SyncBReceiver::new`] therefore takes a
+//! [`Causality`] witness and refuses concurrent inputs; systems that need
+//! reconciliation must use `SYNCC` or `SYNCS`.
+
+use crate::causality::Causality;
+use crate::error::{Error, Result};
+use crate::rotating::{Brv, RotatingVector};
+use crate::site::SiteId;
+use crate::sync::{unexpected, Endpoint, FlowControl, Msg, ReceiverStats};
+use std::collections::VecDeque;
+
+/// Receiver endpoint for `SYNCB_b(a)`: owns vector `a` and mutates it into
+/// `max(a, b)` (which, given `a ∦ b`, is `a` or `b`).
+#[derive(Debug, Clone)]
+pub struct SyncBReceiver {
+    vec: Brv,
+    prev: Option<SiteId>,
+    outbox: VecDeque<Msg>,
+    done: bool,
+    flow: FlowControl,
+    stats: ReceiverStats,
+}
+
+impl SyncBReceiver {
+    /// Creates a pipelined receiver for vector `a`.
+    ///
+    /// `relation` is the causal relation `a` vs `b` (from `COMPARE`),
+    /// witnessing the `a ∦ b` precondition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ConcurrentVectors`] if `relation` is
+    /// [`Causality::Concurrent`].
+    pub fn new(vec: Brv, relation: Causality) -> Result<Self> {
+        Self::with_flow(vec, relation, FlowControl::Pipelined)
+    }
+
+    /// Creates a receiver with an explicit flow-control mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ConcurrentVectors`] if `relation` is
+    /// [`Causality::Concurrent`].
+    pub fn with_flow(vec: Brv, relation: Causality, flow: FlowControl) -> Result<Self> {
+        if relation.is_concurrent() {
+            return Err(Error::ConcurrentVectors);
+        }
+        Ok(SyncBReceiver {
+            vec,
+            prev: None,
+            outbox: VecDeque::new(),
+            done: false,
+            flow,
+            stats: ReceiverStats::default(),
+        })
+    }
+
+    /// Consumes the receiver, returning the synchronized vector and the
+    /// per-run statistics.
+    pub fn finish(self) -> (Brv, ReceiverStats) {
+        (self.vec, self.stats)
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+}
+
+impl Endpoint for SyncBReceiver {
+    type Msg = Msg;
+
+    fn poll_send(&mut self) -> Option<Msg> {
+        self.outbox.pop_front()
+    }
+
+    fn on_receive(&mut self, msg: Msg) -> Result<()> {
+        if self.done {
+            return Ok(()); // in-flight messages after our HALT
+        }
+        match msg {
+            Msg::ElemB { site, value } => {
+                self.stats.elements_received += 1;
+                if value <= self.vec.value(site) {
+                    self.stats.gamma += 1;
+                    self.outbox.push_back(Msg::Halt);
+                    self.done = true;
+                } else {
+                    self.vec.core_mut().rotate(self.prev, site);
+                    self.vec.core_mut().write(site, value, false, false);
+                    self.prev = Some(site);
+                    self.stats.delta += 1;
+                    if self.flow == FlowControl::StopAndWait {
+                        self.outbox.push_back(Msg::Continue);
+                    }
+                }
+                Ok(())
+            }
+            Msg::Halt => {
+                self.done = true;
+                Ok(())
+            }
+            other => Err(unexpected("SYNCB", &other)),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done && self.outbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotating::{elem, RotatingVector};
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn refuses_concurrent_vectors() {
+        let err = SyncBReceiver::new(Brv::new(), Causality::Concurrent).unwrap_err();
+        assert_eq!(err, Error::ConcurrentVectors);
+    }
+
+    #[test]
+    fn halts_immediately_when_ahead() {
+        // a = ⟨B:1, A:1⟩ already dominates b = ⟨A:1⟩.
+        let a = Brv::from_order([elem(s(1), 1), elem(s(0), 1)]);
+        let mut rx = SyncBReceiver::new(a.clone(), Causality::After).unwrap();
+        rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).unwrap();
+        assert_eq!(rx.poll_send(), Some(Msg::Halt));
+        assert!(rx.is_done());
+        let (out, stats) = rx.finish();
+        assert_eq!(out, a, "vector unchanged (c = a)");
+        assert_eq!(stats.delta, 0);
+        assert_eq!(stats.gamma, 1);
+    }
+
+    #[test]
+    fn applies_new_elements_in_order() {
+        // a = ⟨A:1⟩, b = ⟨C:1, B:1, A:1⟩ (a ≺ b).
+        let a = Brv::from_order([elem(s(0), 1)]);
+        let mut rx = SyncBReceiver::new(a, Causality::Before).unwrap();
+        rx.on_receive(Msg::ElemB { site: s(2), value: 1 }).unwrap();
+        rx.on_receive(Msg::ElemB { site: s(1), value: 1 }).unwrap();
+        rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).unwrap();
+        assert_eq!(rx.poll_send(), Some(Msg::Halt));
+        let (out, stats) = rx.finish();
+        let expected = Brv::from_order([elem(s(2), 1), elem(s(1), 1), elem(s(0), 1)]);
+        assert_eq!(out, expected, "prefix adopted with b's order");
+        assert_eq!(stats.delta, 2);
+    }
+
+    #[test]
+    fn ignores_messages_after_halting() {
+        let a = Brv::from_order([elem(s(0), 5)]);
+        let mut rx = SyncBReceiver::new(a, Causality::After).unwrap();
+        rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).unwrap();
+        assert!(rx.poll_send().is_some());
+        // Pipelined sender had more in flight.
+        rx.on_receive(Msg::ElemB { site: s(9), value: 9 }).unwrap();
+        let (out, _) = rx.finish();
+        assert_eq!(out.value(s(9)), 0, "in-flight element discarded");
+    }
+
+    #[test]
+    fn rejects_foreign_message_kinds() {
+        let mut rx = SyncBReceiver::new(Brv::new(), Causality::Equal).unwrap();
+        assert!(rx
+            .on_receive(Msg::ElemS {
+                site: s(0),
+                value: 1,
+                conflict: false,
+                segment: false
+            })
+            .is_err());
+        assert!(rx.on_receive(Msg::Skip { seg: 0 }).is_err());
+    }
+
+    #[test]
+    fn stop_and_wait_acknowledges_each_element() {
+        let a = Brv::new();
+        let mut rx =
+            SyncBReceiver::with_flow(a, Causality::Before, FlowControl::StopAndWait).unwrap();
+        rx.on_receive(Msg::ElemB { site: s(1), value: 2 }).unwrap();
+        assert_eq!(rx.poll_send(), Some(Msg::Continue));
+        rx.on_receive(Msg::Halt).unwrap();
+        assert!(rx.is_done());
+    }
+}

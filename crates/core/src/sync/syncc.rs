@@ -1,0 +1,217 @@
+//! Algorithm 3 — `SYNCC_b(a)`, the receiving side.
+//!
+//! Identical to `SYNCB` except for the conflict bit: when reconciling
+//! concurrent vectors, every modified element is tagged (`c_i ← 1`), and a
+//! known element (`u_i ≤ a[i]`) whose conflict bit is set does *not* halt
+//! the run — it is skipped over, because elements tagged during an earlier
+//! reconciliation may hide newer elements behind them (the θ1/θ2/θ3
+//! example of §3.2). The skipped-over elements form the paper's `Γ` set:
+//! redundant transmission proportional to the conflict rate.
+
+use crate::causality::Causality;
+use crate::error::Result;
+use crate::rotating::{Crv, RotatingVector};
+use crate::site::SiteId;
+use crate::sync::{unexpected, Endpoint, FlowControl, Msg, ReceiverStats};
+use std::collections::VecDeque;
+
+/// Receiver endpoint for `SYNCC_b(a)`: owns vector `a` and mutates it into
+/// the element-wise maximum of `a` and `b`. Unlike `SYNCB`, concurrent
+/// vectors are welcome — that is reconciliation.
+#[derive(Debug, Clone)]
+pub struct SyncCReceiver {
+    vec: Crv,
+    prev: Option<SiteId>,
+    /// `reconcile ← a ∥ b` (Alg. 3 line 2), switched on retroactively when
+    /// a set conflict bit is observed on a known element.
+    reconcile: bool,
+    outbox: VecDeque<Msg>,
+    done: bool,
+    flow: FlowControl,
+    stats: ReceiverStats,
+}
+
+impl SyncCReceiver {
+    /// Creates a pipelined receiver for vector `a`. `relation` is the
+    /// causal relation of `a` vs the sender's `b` (from `COMPARE`); it
+    /// seeds the `reconcile` flag.
+    pub fn new(vec: Crv, relation: Causality) -> Self {
+        Self::with_flow(vec, relation, FlowControl::Pipelined)
+    }
+
+    /// Creates a receiver with an explicit flow-control mode.
+    pub fn with_flow(vec: Crv, relation: Causality, flow: FlowControl) -> Self {
+        SyncCReceiver {
+            vec,
+            prev: None,
+            reconcile: relation.is_concurrent(),
+            outbox: VecDeque::new(),
+            done: false,
+            flow,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Consumes the receiver, returning the synchronized vector and the
+    /// per-run statistics.
+    pub fn finish(self) -> (Crv, ReceiverStats) {
+        (self.vec, self.stats)
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+}
+
+impl Endpoint for SyncCReceiver {
+    type Msg = Msg;
+
+    fn poll_send(&mut self) -> Option<Msg> {
+        self.outbox.pop_front()
+    }
+
+    fn on_receive(&mut self, msg: Msg) -> Result<()> {
+        if self.done {
+            return Ok(());
+        }
+        match msg {
+            Msg::ElemC {
+                site,
+                value,
+                conflict,
+            } => {
+                self.stats.elements_received += 1;
+                if value <= self.vec.value(site) {
+                    self.stats.gamma += 1;
+                    if conflict {
+                        // A tagged element may hide unknown ones: keep going.
+                        self.reconcile = true;
+                        if self.flow == FlowControl::StopAndWait {
+                            self.outbox.push_back(Msg::Continue);
+                        }
+                    } else {
+                        self.outbox.push_back(Msg::Halt);
+                        self.done = true;
+                    }
+                } else {
+                    self.vec.core_mut().rotate(self.prev, site);
+                    self.prev = Some(site);
+                    let tagged = conflict || self.reconcile;
+                    self.vec.core_mut().write(site, value, tagged, false);
+                    self.stats.delta += 1;
+                    if self.flow == FlowControl::StopAndWait {
+                        self.outbox.push_back(Msg::Continue);
+                    }
+                }
+                Ok(())
+            }
+            Msg::Halt => {
+                self.done = true;
+                Ok(())
+            }
+            other => Err(unexpected("SYNCC", &other)),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done && self.outbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::Element;
+    use crate::rotating::{elem, RotatingVector};
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn celem(i: u32, v: u64, conflict: bool) -> Element {
+        Element {
+            site: s(i),
+            value: v,
+            conflict,
+            segment: false,
+        }
+    }
+
+    #[test]
+    fn reconciliation_tags_modified_elements() {
+        // θ1 = ⟨A:2, B:1⟩, θ2 = ⟨B:2, A:1⟩ (concurrent).
+        let t1 = Crv::from_order([elem(s(0), 2), elem(s(1), 1)]);
+        let mut rx = SyncCReceiver::new(t1, Causality::Concurrent);
+        // θ2's elements arrive in order.
+        rx.on_receive(Msg::ElemC { site: s(1), value: 2, conflict: false })
+            .unwrap();
+        rx.on_receive(Msg::ElemC { site: s(0), value: 1, conflict: false })
+            .unwrap();
+        // A:1 ≤ A:2 with a clear bit → HALT.
+        assert_eq!(rx.poll_send(), Some(Msg::Halt));
+        let (t3, stats) = rx.finish();
+        // θ3 = ⟨B̄:2, A:2⟩: B was modified during reconciliation, so tagged.
+        let expected = Crv::from_order([celem(1, 2, true), celem(0, 2, false)]);
+        assert_eq!(t3, expected);
+        assert_eq!(stats.delta, 1);
+        assert_eq!(stats.gamma, 1);
+    }
+
+    #[test]
+    fn tagged_known_element_does_not_halt() {
+        // Continuing §3.2's example: θ3 = ⟨B̄:2, A:2⟩ syncs into θ1.
+        // SYNCB would halt at B (stale order); SYNCC sees the conflict bit
+        // and keeps going so A:2 reaches θ1.
+        let t1 = Crv::from_order([celem(0, 2, false), celem(1, 1, false)]);
+        // relation: θ1 ≺ θ3.
+        let mut rx = SyncCReceiver::new(t1, Causality::Before);
+        rx.on_receive(Msg::ElemC { site: s(1), value: 2, conflict: true })
+            .unwrap();
+        rx.on_receive(Msg::ElemC { site: s(0), value: 2, conflict: false })
+            .unwrap();
+        rx.on_receive(Msg::Halt).unwrap();
+        let (out, stats) = rx.finish();
+        assert_eq!(out.value(s(0)), 2);
+        assert_eq!(out.value(s(1)), 2);
+        assert_eq!(stats.delta, 1);
+        assert_eq!(stats.gamma, 1, "B:2 was the redundant Γ element");
+    }
+
+    #[test]
+    fn observed_conflict_bit_turns_reconcile_on() {
+        // a is NOT concurrent with b, but a tagged known element must still
+        // cause subsequent modifications to be tagged.
+        let a = Crv::from_order([celem(0, 2, true), celem(1, 1, false)]);
+        let mut rx = SyncCReceiver::new(a, Causality::Before);
+        rx.on_receive(Msg::ElemC { site: s(0), value: 2, conflict: true })
+            .unwrap();
+        rx.on_receive(Msg::ElemC { site: s(2), value: 1, conflict: false })
+            .unwrap();
+        rx.on_receive(Msg::Halt).unwrap();
+        let (out, _) = rx.finish();
+        assert!(
+            out.as_core().get(s(2)).unwrap().conflict,
+            "element applied after an observed tag is itself tagged"
+        );
+    }
+
+    #[test]
+    fn clean_fast_forward_keeps_bits_clear() {
+        let a = Crv::from_order([elem(s(0), 1)]);
+        let mut rx = SyncCReceiver::new(a, Causality::Before);
+        rx.on_receive(Msg::ElemC { site: s(1), value: 1, conflict: false })
+            .unwrap();
+        rx.on_receive(Msg::ElemC { site: s(0), value: 1, conflict: false })
+            .unwrap();
+        let (out, _) = rx.finish();
+        assert!(out.iter().all(|e| !e.conflict));
+    }
+
+    #[test]
+    fn rejects_foreign_message_kinds() {
+        let mut rx = SyncCReceiver::new(Crv::new(), Causality::Equal);
+        assert!(rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).is_err());
+        assert!(rx.on_receive(Msg::SegSkipped { seg: 0 }).is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! Algorithm 4 — `SYNCS_b(a)`, the receiving side.
+//!
+//! `SYNCS` extends `SYNCC` with segment bits: instead of receiving every
+//! conflict-tagged known element (the `Γ` overhead), the receiver asks the
+//! sender to *skip* the remainder of a segment as soon as its first
+//! element proves known — the segment property (§4) guarantees the rest of
+//! the segment is known too. Each skip costs one O(1) `SKIP` message,
+//! giving the optimal `O(|Δ|+γ)` communication of Theorem 5.1.
+//!
+//! # Implementation notes (documented deviations)
+//!
+//! Three points the paper leaves implicit (or gets subtly wrong) are
+//! made explicit here:
+//!
+//! 1. **Receiver-side `segs` maintenance** (omitted in the paper "for
+//!    brevity"): the receiver counts a segment as seen when it receives
+//!    either the segment's boundary element or the sender's O(1)
+//!    [`Msg::SegSkipped`] marker — exactly one of the two arrives per
+//!    segment, keeping both counters aligned under pipelining.
+//! 2. **Segment closure on sender HALT.** Algorithm 4 sets the boundary
+//!    `a.s[prev] ← 1` only when a *known* element arrives during
+//!    reconciliation. If the reconciliation run ends with the sender's
+//!    `HALT` instead (the sender's entire vector was new to the receiver),
+//!    the junction between the transferred prefix and the receiver's
+//!    concurrent remainder would stay open, silently fusing causally
+//!    unrelated elements into one segment; a later sync could then skip
+//!    elements the peer does not know. The receiver therefore closes the
+//!    segment at `prev` when a reconciliation run ends with the sender's
+//!    `HALT` — the same bit the algorithm would have set had one more
+//!    known element arrived. The regression test
+//!    `halt_terminated_reconciliation_closes_segment` exercises the
+//!    failure.
+//! 3. **Segment closure when jumping a tagged known element.** Algorithm 4
+//!    gates the `a.s[prev] ← 1` closure on the `reconcile` flag, which is
+//!    false when the sync relation is `a ≺ b`. But a `Before`-relation
+//!    stream can still carry conflict-tagged known elements (merge results
+//!    propagate through fast-forwards), and continuing past one splices
+//!    the elements applied before and after it directly together in the
+//!    receiver's order — a run in which the first element does *not*
+//!    causally imply the rest. A later `SYNCS` from this vector could then
+//!    skip elements its peer lacks, losing updates. The closure therefore
+//!    also fires whenever a tagged (`c_i = 1`) known element is passed,
+//!    regardless of `reconcile`. Found by the model-based property suite
+//!    (`tests/model_based.rs`); regression test
+//!    `jumped_tagged_element_closes_segment` replays the minimal trace.
+
+use crate::causality::Causality;
+use crate::error::{Error, Result};
+use crate::rotating::{Srv, RotatingVector};
+use crate::site::SiteId;
+use crate::sync::{unexpected, Endpoint, FlowControl, Msg, ReceiverStats};
+use std::collections::VecDeque;
+
+/// Receiver endpoint for `SYNCS_b(a)`: owns vector `a` and mutates it into
+/// the element-wise maximum of `a` and `b`, skipping known segments.
+#[derive(Debug, Clone)]
+pub struct SyncSReceiver {
+    vec: Srv,
+    prev: Option<SiteId>,
+    /// Completed segments observed in the incoming stream (`segs`).
+    segs: u64,
+    /// Waiting out a segment we asked the sender to skip (`skipping`).
+    skipping: bool,
+    /// `reconcile ← a ∥ b`, switched on when a set conflict bit is seen.
+    reconcile: bool,
+    /// Whether any element was applied (used by the HALT-closure rule).
+    applied_any: bool,
+    outbox: VecDeque<Msg>,
+    done: bool,
+    flow: FlowControl,
+    stats: ReceiverStats,
+}
+
+impl SyncSReceiver {
+    /// Creates a pipelined receiver for vector `a`. `relation` is the
+    /// causal relation of `a` vs the sender's `b` (from `COMPARE`).
+    pub fn new(vec: Srv, relation: Causality) -> Self {
+        Self::with_flow(vec, relation, FlowControl::Pipelined)
+    }
+
+    /// Creates a receiver with an explicit flow-control mode.
+    pub fn with_flow(vec: Srv, relation: Causality, flow: FlowControl) -> Self {
+        SyncSReceiver {
+            vec,
+            prev: None,
+            segs: 0,
+            skipping: false,
+            reconcile: relation.is_concurrent(),
+            applied_any: false,
+            outbox: VecDeque::new(),
+            done: false,
+            flow,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Consumes the receiver, returning the synchronized vector and the
+    /// per-run statistics.
+    pub fn finish(self) -> (Srv, ReceiverStats) {
+        (self.vec, self.stats)
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    fn on_element(&mut self, site: SiteId, value: u64, conflict: bool, segment: bool) {
+        self.stats.elements_received += 1;
+        if value <= self.vec.value(site) {
+            self.stats.gamma += 1;
+            if self.skipping {
+                // An element that should have been skipped (in flight when
+                // our SKIP was sent, or the skip was stale).
+                if self.flow == FlowControl::StopAndWait {
+                    self.outbox.push_back(Msg::Continue);
+                }
+            } else {
+                // Close the freshly written prefix before the known region.
+                // Algorithm 4 (lines 9–11) gates this on `reconcile`, but
+                // that is not enough: passing a *tagged* known element means
+                // the stream is jumping a merge boundary, and the elements
+                // applied before and after the jump end up adjacent in this
+                // vector even though neither causally implies the other.
+                // Without the boundary, a later sync could skip elements
+                // its peer does not know (see deviation 3 in the module
+                // docs and the regression tests below).
+                if conflict || self.reconcile {
+                    if let Some(prev) = self.prev {
+                        self.vec.core_mut().set_segment_bit(prev);
+                    }
+                }
+                if conflict {
+                    self.reconcile = true;
+                    if segment {
+                        // The known element is itself the segment boundary:
+                        // nothing remains to skip.
+                        if self.flow == FlowControl::StopAndWait {
+                            self.outbox.push_back(Msg::Continue);
+                        }
+                    } else {
+                        self.outbox.push_back(Msg::Skip { seg: self.segs });
+                        self.skipping = true;
+                        self.stats.skips += 1;
+                    }
+                } else {
+                    self.outbox.push_back(Msg::Halt);
+                    self.done = true;
+                    return;
+                }
+            }
+        } else {
+            self.skipping = false;
+            self.vec.core_mut().rotate(self.prev, site);
+            self.prev = Some(site);
+            let tagged = conflict || self.reconcile;
+            self.vec.core_mut().write(site, value, tagged, segment);
+            self.applied_any = true;
+            self.stats.delta += 1;
+            if self.flow == FlowControl::StopAndWait {
+                self.outbox.push_back(Msg::Continue);
+            }
+        }
+        if segment {
+            // Boundary element observed: the current segment is complete.
+            self.segs += 1;
+            self.skipping = false;
+        }
+    }
+}
+
+impl Endpoint for SyncSReceiver {
+    type Msg = Msg;
+
+    fn poll_send(&mut self) -> Option<Msg> {
+        self.outbox.pop_front()
+    }
+
+    fn on_receive(&mut self, msg: Msg) -> Result<()> {
+        if self.done {
+            return Ok(());
+        }
+        match msg {
+            Msg::ElemS {
+                site,
+                value,
+                conflict,
+                segment,
+            } => {
+                self.on_element(site, value, conflict, segment);
+                Ok(())
+            }
+            Msg::SegSkipped { seg } => {
+                if seg != self.segs {
+                    return Err(Error::UnexpectedMessage {
+                        protocol: "SYNCS",
+                        message: format!(
+                            "SegSkipped({seg}) while receiver is at segment {}",
+                            self.segs
+                        ),
+                    });
+                }
+                self.segs = seg + 1;
+                self.skipping = false;
+                Ok(())
+            }
+            Msg::Halt => {
+                // Deviation 2 (see module docs): a reconciliation run that
+                // ends with the sender exhausting its vector must still
+                // close the junction between the transferred prefix and the
+                // receiver's concurrent remainder.
+                if self.reconcile && self.applied_any {
+                    if let Some(prev) = self.prev {
+                        if self.vec.as_core().next_in_order(prev).is_some() {
+                            self.vec.core_mut().set_segment_bit(prev);
+                        }
+                    }
+                }
+                self.done = true;
+                Ok(())
+            }
+            other => Err(unexpected("SYNCS", &other)),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done && self.outbox.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::Element;
+    use crate::rotating::RotatingVector;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn selem(i: u32, v: u64, conflict: bool, segment: bool) -> Element {
+        Element {
+            site: s(i),
+            value: v,
+            conflict,
+            segment,
+        }
+    }
+
+    fn deliver(rx: &mut SyncSReceiver, e: Element) {
+        rx.on_receive(Msg::ElemS {
+            site: e.site,
+            value: e.value,
+            conflict: e.conflict,
+            segment: e.segment,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn known_tagged_element_requests_skip() {
+        // a knows segment [B:1, C:1 |] already; sender streams it tagged.
+        let a = Srv::from_order([
+            selem(1, 1, false, false),
+            selem(2, 1, false, true),
+            selem(0, 1, false, false),
+        ]);
+        let mut rx = SyncSReceiver::new(a, Causality::Concurrent);
+        deliver(&mut rx, selem(1, 1, true, false));
+        assert_eq!(rx.poll_send(), Some(Msg::Skip { seg: 0 }));
+        assert_eq!(rx.stats().skips, 1);
+        // The in-flight C:1 is ignored while skipping.
+        deliver(&mut rx, selem(2, 1, true, true));
+        assert_eq!(rx.poll_send(), None);
+        assert_eq!(rx.stats().gamma, 2);
+    }
+
+    #[test]
+    fn seg_skipped_realigns_counter() {
+        let a = Srv::from_order([selem(1, 1, false, true), selem(0, 1, false, false)]);
+        let mut rx = SyncSReceiver::new(a, Causality::Concurrent);
+        deliver(&mut rx, selem(1, 1, true, false));
+        assert_eq!(rx.poll_send(), Some(Msg::Skip { seg: 0 }));
+        rx.on_receive(Msg::SegSkipped { seg: 0 }).unwrap();
+        // Next segment's unknown element is applied normally.
+        deliver(&mut rx, selem(5, 2, false, false));
+        rx.on_receive(Msg::Halt).unwrap();
+        let (out, stats) = rx.finish();
+        assert_eq!(out.value(s(5)), 2);
+        assert_eq!(stats.delta, 1);
+    }
+
+    #[test]
+    fn misaligned_seg_skipped_is_rejected() {
+        let mut rx = SyncSReceiver::new(Srv::new(), Causality::Equal);
+        assert!(rx.on_receive(Msg::SegSkipped { seg: 3 }).is_err());
+    }
+
+    #[test]
+    fn untagged_known_element_halts() {
+        let a = Srv::from_order([selem(0, 2, false, false)]);
+        let mut rx = SyncSReceiver::new(a, Causality::After);
+        deliver(&mut rx, selem(0, 1, false, false));
+        assert_eq!(rx.poll_send(), Some(Msg::Halt));
+        assert!(rx.is_done());
+    }
+
+    #[test]
+    fn boundary_known_element_does_not_request_empty_skip() {
+        // The known tagged element is itself the last of its segment:
+        // a SKIP would have nothing to skip and would always be stale.
+        let a = Srv::from_order([selem(1, 1, false, true), selem(0, 1, false, false)]);
+        let mut rx = SyncSReceiver::new(a, Causality::Concurrent);
+        deliver(&mut rx, selem(1, 1, true, true));
+        assert_eq!(rx.poll_send(), None, "no Skip for an exhausted segment");
+        // The segment still counts as seen.
+        deliver(&mut rx, selem(7, 1, false, false));
+        rx.on_receive(Msg::Halt).unwrap();
+        let (out, stats) = rx.finish();
+        assert_eq!(stats.skips, 0);
+        assert_eq!(out.value(s(7)), 1);
+    }
+
+    #[test]
+    fn reconciliation_closes_segment_before_known_region() {
+        // a = ⟨A:2, B:1⟩ concurrent with incoming ⟨X:1, A:1…⟩: after the
+        // prefix X is applied, the known element A must close X's segment.
+        let a = Srv::from_order([selem(0, 2, false, false), selem(1, 1, false, false)]);
+        let mut rx = SyncSReceiver::new(a, Causality::Concurrent);
+        deliver(&mut rx, selem(9, 1, false, false)); // applied
+        deliver(&mut rx, selem(0, 1, false, false)); // known, clear bit → HALT
+        assert_eq!(rx.poll_send(), Some(Msg::Halt));
+        let (out, _) = rx.finish();
+        let x = out.as_core().get(s(9)).unwrap();
+        assert!(x.segment, "junction closed at prev");
+        assert!(x.conflict, "reconciliation tags modified elements");
+    }
+
+    #[test]
+    fn halt_terminated_reconciliation_closes_segment() {
+        // Regression test for documented deviation 2. Site X's vector
+        // ⟨X:1, W:1⟩ reconciles with b = ⟨Y:1⟩ whose whole vector is new:
+        // the run ends with the sender's HALT. Without the closure rule,
+        // ⟨Ȳ:1, X:1, W:1⟩ would form one open segment, and a later
+        // SYNCS_a(c) with c = ⟨Y:1⟩ would skip W:1 — leaving c missing an
+        // element it must receive.
+        let a = Srv::from_order([selem(23, 1, false, false), selem(22, 1, false, false)]);
+        let mut rx = SyncSReceiver::new(a, Causality::Concurrent);
+        deliver(&mut rx, selem(24, 1, false, false)); // Y:1 applied
+        rx.on_receive(Msg::Halt).unwrap();
+        let (out, _) = rx.finish();
+        let y = out.as_core().get(s(24)).unwrap();
+        assert!(y.segment, "junction closed on sender HALT");
+        assert_eq!(out.segments().len(), 2);
+    }
+
+    #[test]
+    fn jumped_tagged_element_closes_segment() {
+        // Regression test for documented deviation 3, replaying the
+        // minimal trace found by the model-based property suite. Sites
+        // 0,4,5,7 produce (through legal updates, SYNCS runs and Parker
+        // increments) a vector v0 = ⟨0:1, 5̄:2, 7̄:1∣, 4:1⟩ in which 5:2
+        // does not causally imply 4:1. Site 7 (knowing only 7:1) pulls it:
+        // the stream passes the known tagged 7̄ between applying 5̄ and 4.
+        // Without the extra closure, 5̄ and 4̄ fuse into one segment and a
+        // later sync to site 5 (which knows 5:2 but not 4:1) skips 4:1.
+        use crate::sync::drive::sync_srv;
+        let s0 = SiteId::new(0);
+        let s4 = SiteId::new(4);
+        let s5 = SiteId::new(5);
+        let s7 = SiteId::new(7);
+        let mut v5 = Srv::new();
+        v5.record_update(s5);
+        let mut v7 = Srv::new();
+        v7.record_update(s7);
+        let mut v4 = Srv::new();
+        v4.record_update(s4);
+        let mut v0 = Srv::new();
+        sync_srv(&mut v0, &v4).unwrap(); // v0 = ⟨4:1⟩
+        sync_srv(&mut v5, &v7).unwrap(); // concurrent
+        v5.record_update(s5); // Parker §C → v5 = ⟨5:2, 7̄:1∣⟩
+        sync_srv(&mut v0, &v5).unwrap(); // concurrent
+        v0.record_update(s0); // v0 = ⟨0:1, 5̄:2, 7̄:1∣, 4:1⟩
+        // The critical sync: relation is Before (v7 ≺ v0), but the stream
+        // jumps the tagged known 7̄ between 5̄ and 4.
+        sync_srv(&mut v7, &v0).unwrap();
+        // v7 must carry a boundary between 5̄ and 4̄ now.
+        let segs = v7.segments();
+        let run_of = |site: SiteId| {
+            segs.iter()
+                .position(|seg| seg.iter().any(|e| e.site == site))
+                .unwrap()
+        };
+        assert_ne!(run_of(s5), run_of(s4), "5̄ and 4̄ must not share a segment");
+        // And the follow-up sync must deliver 4:1 to site 5.
+        sync_srv(&mut v5, &v7).unwrap();
+        assert_eq!(v5.value(s4), 1, "4:1 must not be skipped away");
+        assert_eq!(v5.to_version_vector(), v7.to_version_vector());
+    }
+
+    #[test]
+    fn clean_run_leaves_no_spurious_bits() {
+        // a ≺ b with no reconciliation anywhere: no bits appear.
+        let a = Srv::from_order([selem(0, 1, false, false)]);
+        let mut rx = SyncSReceiver::new(a, Causality::Before);
+        deliver(&mut rx, selem(1, 1, false, false));
+        deliver(&mut rx, selem(0, 1, false, false)); // known, clear → HALT
+        let (out, _) = rx.finish();
+        assert!(out.iter().all(|e| !e.conflict && !e.segment));
+    }
+
+    #[test]
+    fn rejects_foreign_message_kinds() {
+        let mut rx = SyncSReceiver::new(Srv::new(), Causality::Equal);
+        assert!(rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).is_err());
+        assert!(rx.on_receive(Msg::Skip { seg: 0 }).is_err());
+        assert!(rx
+            .on_receive(Msg::FullVector { pairs: vec![] })
+            .is_err());
+    }
+
+    #[test]
+    fn stop_and_wait_grants_credit_while_skipping() {
+        let a = Srv::from_order([
+            selem(1, 1, false, false),
+            selem(2, 1, false, true),
+            selem(0, 1, false, false),
+        ]);
+        let mut rx =
+            SyncSReceiver::with_flow(a, Causality::Concurrent, FlowControl::StopAndWait);
+        deliver(&mut rx, selem(1, 1, true, false));
+        assert_eq!(rx.poll_send(), Some(Msg::Skip { seg: 0 }));
+        // In-flight element while skipping still gets an ack.
+        deliver(&mut rx, selem(2, 1, true, false));
+        assert_eq!(rx.poll_send(), Some(Msg::Continue));
+    }
+}

@@ -1,0 +1,164 @@
+//! Compact wire encoding for protocol messages.
+//!
+//! Every communication claim in the paper is stated in bits; to measure them
+//! honestly, all protocol messages are encoded with a real, compact format:
+//! LEB128 varints for site names, element values and segment counters, plus
+//! a one-byte message tag. The benchmark harness counts these encoded bytes
+//! (not abstract element counts — those are reported separately).
+
+use crate::error::WireError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum number of bytes a `u64` varint occupies.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `buf` as an LEB128 varint.
+///
+/// ```
+/// use optrep_core::wire;
+/// let mut buf = bytes::BytesMut::new();
+/// wire::put_varint(&mut buf, 300);
+/// assert_eq!(&buf[..], &[0xac, 0x02]);
+/// ```
+pub fn put_varint(buf: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decodes an LEB128 varint from the front of `buf`.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if the buffer ends mid-varint and
+/// [`WireError::VarintOverflow`] if the encoding exceeds
+/// [`MAX_VARINT_LEN`] bytes.
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_LEN {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(WireError::VarintOverflow)
+}
+
+/// Number of bytes [`put_varint`] uses for `value`.
+///
+/// ```
+/// use optrep_core::wire::varint_len;
+/// assert_eq!(varint_len(0), 1);
+/// assert_eq!(varint_len(127), 1);
+/// assert_eq!(varint_len(128), 2);
+/// assert_eq!(varint_len(u64::MAX), 10);
+/// ```
+pub const fn varint_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    put_varint(buf, data.len() as u64);
+    buf.put_slice(data);
+}
+
+/// Decodes a length-prefixed byte string.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if fewer bytes remain than the
+/// prefix promises.
+pub fn get_bytes(buf: &mut Bytes) -> Result<Bytes, WireError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.split_to(len))
+}
+
+/// Byte length of a length-prefixed byte string of `len` payload bytes.
+pub const fn bytes_len(len: usize) -> usize {
+    varint_len(len as u64) + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length for {v}");
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert!(bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_eof_detected() {
+        let mut bytes = Bytes::from_static(&[0x80]);
+        assert_eq!(get_varint(&mut bytes), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        let mut bytes = Bytes::from_static(&[0xff; 11]);
+        assert_eq!(get_varint(&mut bytes), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn byte_string_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"hello");
+        assert_eq!(buf.len(), bytes_len(5));
+        let mut bytes = buf.freeze();
+        assert_eq!(get_bytes(&mut bytes).unwrap(), Bytes::from_static(b"hello"));
+    }
+
+    #[test]
+    fn byte_string_truncation_detected() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 10);
+        buf.put_slice(b"abc");
+        let mut bytes = buf.freeze();
+        assert_eq!(get_bytes(&mut bytes), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn empty_byte_string() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"");
+        let mut bytes = buf.freeze();
+        assert_eq!(get_bytes(&mut bytes).unwrap().len(), 0);
+    }
+}

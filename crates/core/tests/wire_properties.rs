@@ -1,0 +1,127 @@
+//! Property tests for the wire layer: arbitrary messages round-trip
+//! exactly, encoded lengths are exact, and arbitrary byte soup never
+//! panics the decoders (it errors or decodes to something that
+//! re-encodes consistently).
+
+use bytes::Bytes;
+use optrep_core::graph::{syncg::GraphMsg, NodeId, Parents};
+use optrep_core::sync::{Msg, WireMsg};
+use optrep_core::{wire, SiteId};
+use proptest::prelude::*;
+
+fn arb_site() -> impl Strategy<Value = SiteId> {
+    (0u32..1 << 20).prop_map(SiteId::new)
+}
+
+fn arb_value() -> impl Strategy<Value = u64> {
+    // Values stay below 2^61 so the two-bit packing of ElemS cannot
+    // overflow (documented domain limit).
+    0u64..1 << 61
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (arb_site(), arb_value()).prop_map(|(site, value)| Msg::ElemB { site, value }),
+        (arb_site(), arb_value(), any::<bool>())
+            .prop_map(|(site, value, conflict)| Msg::ElemC {
+                site,
+                value,
+                conflict
+            }),
+        (arb_site(), arb_value(), any::<bool>(), any::<bool>()).prop_map(
+            |(site, value, conflict, segment)| Msg::ElemS {
+                site,
+                value,
+                conflict,
+                segment
+            }
+        ),
+        Just(Msg::Halt),
+        Just(Msg::Continue),
+        (0u64..1 << 40).prop_map(|seg| Msg::Skip { seg }),
+        (0u64..1 << 40).prop_map(|seg| Msg::SegSkipped { seg }),
+        proptest::collection::vec((arb_site(), arb_value()), 0..20)
+            .prop_map(|pairs| Msg::FullVector { pairs }),
+    ]
+}
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u32..1 << 16, 0u32..1 << 16).prop_map(|(s, q)| NodeId::of(SiteId::new(s), q))
+}
+
+fn arb_graph_msg() -> impl Strategy<Value = GraphMsg> {
+    prop_oneof![
+        (
+            arb_node(),
+            proptest::option::of(arb_node()),
+            proptest::option::of(arb_node()),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(id, left, right, payload)| {
+                // A right parent requires a left parent in well-formed
+                // graphs, but the wire layer must carry anything.
+                GraphMsg::Node {
+                    id,
+                    parents: Parents { left, right },
+                    payload: Bytes::from(payload),
+                }
+            }),
+        arb_node().prop_map(|id| GraphMsg::SkipTo { id }),
+        Just(GraphMsg::SkipToEnd),
+        Just(GraphMsg::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = bytes::BytesMut::new();
+        wire::put_varint(&mut buf, v);
+        prop_assert_eq!(buf.len(), wire::varint_len(v));
+        let mut bytes = buf.freeze();
+        prop_assert_eq!(wire::get_varint(&mut bytes).unwrap(), v);
+        prop_assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn msg_roundtrip(msg in arb_msg()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let mut buf = bytes;
+        let decoded = Msg::decode(&mut buf).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn graph_msg_roundtrip(msg in arb_graph_msg()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let mut buf = bytes;
+        let decoded = GraphMsg::decode(&mut buf).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = Bytes::from(bytes.clone());
+        let _ = Msg::decode(&mut buf);
+        let mut buf = Bytes::from(bytes);
+        let _ = GraphMsg::decode(&mut buf);
+    }
+
+    #[test]
+    fn concatenated_messages_decode_in_sequence(msgs in proptest::collection::vec(arb_msg(), 1..10)) {
+        let mut buf = bytes::BytesMut::new();
+        for m in &msgs {
+            m.encode(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for m in &msgs {
+            let decoded = Msg::decode(&mut bytes).unwrap();
+            prop_assert_eq!(&decoded, m);
+        }
+        prop_assert!(bytes.is_empty());
+    }
+}

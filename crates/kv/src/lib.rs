@@ -1,0 +1,538 @@
+//! A replicated key-value store built on skip rotating vectors.
+//!
+//! [`KvStore`] is the downstream-facing face of the `optrep` stack: each
+//! key carries its own [`Srv`] metadata, so conflicts are detected
+//! per key with O(1) comparisons, and anti-entropy between two stores
+//! ([`KvStore::sync_from`]) transfers only the metadata *differences* —
+//! the paper's `SYNCS` — plus the values that actually changed.
+//!
+//! Deletions are tombstones (an update writing no value), so they
+//! propagate and reconcile like any other write. Conflicting writes are
+//! resolved by a deterministic [`Resolver`]; the default
+//! [`JoinResolver`] is a join (commutative, associative, idempotent), so
+//! any gossip schedule converges to the same store everywhere.
+//!
+//! ```
+//! use optrep_kv::{KvStore, JoinResolver};
+//! use optrep_core::SiteId;
+//!
+//! let mut alice = KvStore::new(SiteId::new(0));
+//! let mut bob = KvStore::new(SiteId::new(1));
+//! alice.put("greeting", "hello");
+//! bob.sync_from(&alice, &JoinResolver)?;
+//! assert_eq!(bob.get("greeting"), Some(&b"hello"[..]));
+//!
+//! // Concurrent writes to the same key conflict and resolve
+//! // deterministically on both sides.
+//! alice.put("greeting", "hi");
+//! bob.put("greeting", "hey");
+//! bob.sync_from(&alice, &JoinResolver)?;
+//! alice.sync_from(&bob, &JoinResolver)?;
+//! assert_eq!(alice.get("greeting"), bob.get("greeting"));
+//! # Ok::<(), optrep_core::Error>(())
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use optrep_core::error::WireError;
+use optrep_core::sync::drive::{sync_srv_opts, SyncReport};
+use optrep_core::sync::SyncOptions;
+use optrep_core::{wire, Causality, Result, RotatingVector, SiteId, Srv};
+use std::collections::BTreeMap;
+
+/// The stored state of one key: `None` is a tombstone (deleted).
+pub type Value = Option<Bytes>;
+
+/// Resolves a conflicting (concurrent) pair of values for one key.
+///
+/// For the store to be eventually consistent under arbitrary gossip, the
+/// resolution must be deterministic and symmetric: `resolve(a, b)` and
+/// `resolve(b, a)` must produce the same value on both sites.
+pub trait Resolver {
+    /// Produces the reconciled value from the local (`ours`) and remote
+    /// (`theirs`) conflicting values.
+    fn resolve(&self, key: &str, ours: &Value, theirs: &Value) -> Value;
+}
+
+/// The default resolver: a deterministic join. A present value beats a
+/// tombstone; two present values resolve to the byte-wise larger one.
+/// Commutative, associative and idempotent, so every replica converges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinResolver;
+
+impl Resolver for JoinResolver {
+    fn resolve(&self, _key: &str, ours: &Value, theirs: &Value) -> Value {
+        match (ours, theirs) {
+            (Some(a), Some(b)) => Some(std::cmp::max(a, b).clone()),
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(b)) => Some(b.clone()),
+            (None, None) => None,
+        }
+    }
+}
+
+/// A resolver that keeps the local value ("ours wins"). Deterministic
+/// per site but *asymmetric*: replicas converge only after further
+/// syncs settle the winner — use [`JoinResolver`] unless the application
+/// resolves conflicts at a designated site.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OursResolver;
+
+impl Resolver for OursResolver {
+    fn resolve(&self, _key: &str, ours: &Value, _theirs: &Value) -> Value {
+        ours.clone()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    meta: Srv,
+    value: Value,
+}
+
+/// Aggregate report of one anti-entropy pull.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvSyncReport {
+    /// Keys examined (present on the source).
+    pub keys_examined: usize,
+    /// Keys created on this store.
+    pub keys_created: usize,
+    /// Keys fast-forwarded to the source's version.
+    pub keys_fast_forwarded: usize,
+    /// Keys with concurrent writes, reconciled by the resolver.
+    pub keys_reconciled: usize,
+    /// Keys already up to date (or ahead).
+    pub keys_unchanged: usize,
+    /// Metadata bytes exchanged (comparison + `SYNCS`, both directions).
+    pub meta_bytes: usize,
+    /// Value bytes shipped.
+    pub value_bytes: usize,
+}
+
+/// A replicated key-value store: one [`Srv`] per key, anti-entropy
+/// synchronization, tombstoned deletes and durable snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvStore {
+    site: SiteId,
+    entries: BTreeMap<String, Entry>,
+}
+
+impl KvStore {
+    /// Creates an empty store hosted on `site`.
+    pub fn new(site: SiteId) -> Self {
+        KvStore {
+            site,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The hosting site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Writes a value. Counts as one update on this site's element of the
+    /// key's vector.
+    pub fn put(&mut self, key: impl Into<String>, value: impl Into<Bytes>) {
+        self.write(key.into(), Some(value.into()));
+    }
+
+    /// Deletes a key by writing a tombstone; the deletion propagates and
+    /// reconciles like any other update.
+    pub fn delete(&mut self, key: impl Into<String>) {
+        self.write(key.into(), None);
+    }
+
+    fn write(&mut self, key: String, value: Value) {
+        let site = self.site;
+        let entry = self.entries.entry(key).or_insert_with(|| Entry {
+            meta: Srv::new(),
+            value: None,
+        });
+        entry.meta.record_update(site);
+        entry.value = value;
+    }
+
+    /// Reads a key. Tombstoned and absent keys both read as `None`.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.entries
+            .get(key)
+            .and_then(|e| e.value.as_deref())
+    }
+
+    /// The key's metadata, if the key (or its tombstone) exists.
+    pub fn meta(&self, key: &str) -> Option<&Srv> {
+        self.entries.get(key).map(|e| &e.meta)
+    }
+
+    /// Live (non-tombstoned) keys, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.value.is_some())
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.keys().count()
+    }
+
+    /// `true` iff the store has no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries including tombstones (the replication footprint).
+    pub fn tracked_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Causal relation of this store's copy of `key` vs a peer's.
+    pub fn compare_key(&self, other: &KvStore, key: &str) -> Option<Causality> {
+        match (self.entries.get(key), other.entries.get(key)) {
+            (Some(a), Some(b)) => Some(a.meta.compare(&b.meta)),
+            _ => None,
+        }
+    }
+
+    /// Anti-entropy pull: brings every key of `other` into this store,
+    /// running a per-key `SYNCS` and shipping values only when they
+    /// changed. Concurrent writes are resolved with `resolver`, followed
+    /// by the Parker §C increment so the resolved version dominates both
+    /// parents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors; the store is left with all keys synced
+    /// up to the failing one.
+    pub fn sync_from<R: Resolver>(
+        &mut self,
+        other: &KvStore,
+        resolver: &R,
+    ) -> Result<KvSyncReport> {
+        self.sync_from_opts(other, resolver, SyncOptions::default())
+    }
+
+    /// Like [`sync_from`](Self::sync_from) with explicit transfer options.
+    ///
+    /// # Errors
+    ///
+    /// See [`sync_from`](Self::sync_from).
+    pub fn sync_from_opts<R: Resolver>(
+        &mut self,
+        other: &KvStore,
+        resolver: &R,
+        opts: SyncOptions,
+    ) -> Result<KvSyncReport> {
+        let mut report = KvSyncReport::default();
+        for (key, theirs) in &other.entries {
+            report.keys_examined += 1;
+            match self.entries.get_mut(key) {
+                None => {
+                    // New key: the whole entry travels.
+                    report.keys_created += 1;
+                    report.meta_bytes += theirs.meta.encode_snapshot().len();
+                    report.value_bytes += value_len(&theirs.value);
+                    self.entries.insert(key.clone(), theirs.clone());
+                }
+                Some(ours) => {
+                    let relation = ours.meta.compare(&theirs.meta);
+                    report.meta_bytes += compare_cost(&ours.meta, &theirs.meta);
+                    match relation {
+                        Causality::Equal | Causality::After => {
+                            report.keys_unchanged += 1;
+                        }
+                        Causality::Before => {
+                            let sync = sync_srv_opts(&mut ours.meta, &theirs.meta, opts)?;
+                            report.absorb_meta(&sync);
+                            ours.value = theirs.value.clone();
+                            report.value_bytes += value_len(&theirs.value);
+                            report.keys_fast_forwarded += 1;
+                        }
+                        Causality::Concurrent => {
+                            let sync = sync_srv_opts(&mut ours.meta, &theirs.meta, opts)?;
+                            report.absorb_meta(&sync);
+                            ours.value = resolver.resolve(key, &ours.value, &theirs.value);
+                            report.value_bytes += value_len(&theirs.value);
+                            // Parker §C: the resolved version must dominate
+                            // both parents.
+                            ours.meta.record_update(self.site);
+                            report.keys_reconciled += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// `true` iff both stores hold identical keys, values and metadata
+    /// values — the eventual-consistency check.
+    pub fn consistent_with(&self, other: &KvStore) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        self.entries.iter().all(|(k, e)| {
+            other.entries.get(k).is_some_and(|o| {
+                e.value == o.value && e.meta.to_version_vector() == o.meta.to_version_vector()
+            })
+        })
+    }
+
+    /// Serializes the whole store into a durable snapshot.
+    pub fn encode_snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        wire::put_varint(&mut buf, u64::from(self.site.index()));
+        wire::put_varint(&mut buf, self.entries.len() as u64);
+        for (key, entry) in &self.entries {
+            wire::put_bytes(&mut buf, key.as_bytes());
+            let meta = entry.meta.encode_snapshot();
+            wire::put_bytes(&mut buf, &meta);
+            match &entry.value {
+                Some(v) => {
+                    buf.put_u8(1);
+                    wire::put_bytes(&mut buf, v);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Rebuilds a store from [`encode_snapshot`](Self::encode_snapshot)
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated or malformed input.
+    pub fn decode_snapshot(buf: &mut Bytes) -> std::result::Result<Self, WireError> {
+        let site = SiteId::new(wire::get_varint(buf)? as u32);
+        let n = wire::get_varint(buf)? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let key_bytes = wire::get_bytes(buf)?;
+            let key = String::from_utf8(key_bytes.to_vec())
+                .map_err(|_| WireError::UnexpectedEof)?;
+            let mut meta_bytes = wire::get_bytes(buf)?;
+            let meta = Srv::decode_snapshot(&mut meta_bytes)?;
+            if !buf.has_remaining() {
+                return Err(WireError::UnexpectedEof);
+            }
+            let value = if buf.get_u8() == 1 {
+                Some(wire::get_bytes(buf)?)
+            } else {
+                None
+            };
+            entries.insert(key, Entry { meta, value });
+        }
+        Ok(KvStore { site, entries })
+    }
+}
+
+impl KvSyncReport {
+    fn absorb_meta(&mut self, sync: &SyncReport) {
+        self.meta_bytes += sync.total_bytes();
+    }
+}
+
+fn value_len(value: &Value) -> usize {
+    value.as_ref().map(|v| v.len()).unwrap_or(0) + 1
+}
+
+/// Wire size of the O(1) comparison for one key (two elements + verdict).
+fn compare_cost(a: &Srv, b: &Srv) -> usize {
+    let one = |v: &Srv| {
+        1 + v
+            .first()
+            .map(|e| {
+                wire::varint_len(u64::from(e.site.index())) + wire::varint_len(e.value)
+            })
+            .unwrap_or(0)
+    };
+    one(a) + one(b) + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = KvStore::new(s(0));
+        assert!(kv.is_empty());
+        kv.put("a", "1");
+        kv.put("b", "2");
+        assert_eq!(kv.get("a"), Some(&b"1"[..]));
+        assert_eq!(kv.len(), 2);
+        kv.delete("a");
+        assert_eq!(kv.get("a"), None);
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.tracked_entries(), 2, "tombstone is tracked");
+        assert_eq!(kv.keys().collect::<Vec<_>>(), vec!["b"]);
+    }
+
+    #[test]
+    fn sync_replicates_and_fast_forwards() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("x", "1");
+        a.put("y", "2");
+        let report = b.sync_from(&a, &JoinResolver).unwrap();
+        assert_eq!(report.keys_created, 2);
+        assert_eq!(b.get("x"), Some(&b"1"[..]));
+        a.put("x", "10");
+        let report = b.sync_from(&a, &JoinResolver).unwrap();
+        assert_eq!(report.keys_fast_forwarded, 1);
+        assert_eq!(report.keys_unchanged, 1);
+        assert_eq!(b.get("x"), Some(&b"10"[..]));
+        assert!(b.consistent_with(&a));
+    }
+
+    #[test]
+    fn deletions_propagate() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("x", "1");
+        b.sync_from(&a, &JoinResolver).unwrap();
+        a.delete("x");
+        b.sync_from(&a, &JoinResolver).unwrap();
+        assert_eq!(b.get("x"), None);
+        assert_eq!(b.tracked_entries(), 1);
+    }
+
+    #[test]
+    fn concurrent_writes_converge_with_join() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("k", "base");
+        b.sync_from(&a, &JoinResolver).unwrap();
+        a.put("k", "from-a");
+        b.put("k", "from-b");
+        assert_eq!(
+            a.compare_key(&b, "k"),
+            Some(Causality::Concurrent),
+            "conflict detected"
+        );
+        let report = b.sync_from(&a, &JoinResolver).unwrap();
+        assert_eq!(report.keys_reconciled, 1);
+        // b's resolution dominates; a fast-forwards to it.
+        let report = a.sync_from(&b, &JoinResolver).unwrap();
+        assert_eq!(report.keys_fast_forwarded, 1);
+        assert_eq!(a.get("k"), b.get("k"));
+        assert_eq!(a.get("k"), Some(&b"from-b"[..]), "join picks the max");
+        assert!(a.consistent_with(&b));
+    }
+
+    #[test]
+    fn delete_vs_write_conflict_value_wins() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("k", "base");
+        b.sync_from(&a, &JoinResolver).unwrap();
+        a.delete("k");
+        b.put("k", "rescued");
+        b.sync_from(&a, &JoinResolver).unwrap();
+        a.sync_from(&b, &JoinResolver).unwrap();
+        assert_eq!(a.get("k"), Some(&b"rescued"[..]));
+        assert!(a.consistent_with(&b));
+    }
+
+    #[test]
+    fn three_stores_converge_under_any_gossip() {
+        let mut stores = [KvStore::new(s(0)), KvStore::new(s(1)), KvStore::new(s(2))];
+        stores[0].put("k", "seed");
+        // Propagate the seed.
+        let src = stores[0].clone();
+        for t in &mut stores[1..] {
+            t.sync_from(&src, &JoinResolver).unwrap();
+        }
+        // Everyone writes concurrently.
+        for (i, store) in stores.iter_mut().enumerate() {
+            store.put("k", format!("w{i}").into_bytes());
+        }
+        // A few rounds of all-pairs gossip settle it.
+        for _ in 0..3 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    if i != j {
+                        let src = stores[j].clone();
+                        stores[i].sync_from(&src, &JoinResolver).unwrap();
+                    }
+                }
+            }
+        }
+        assert!(stores[0].consistent_with(&stores[1]));
+        assert!(stores[1].consistent_with(&stores[2]));
+        assert_eq!(stores[0].get("k"), Some(&b"w2"[..]), "deterministic max");
+    }
+
+    #[test]
+    fn meta_bytes_stay_small_on_repeat_syncs() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        for i in 0..50 {
+            a.put(format!("key{i}"), "v");
+        }
+        let first = b.sync_from(&a, &JoinResolver).unwrap();
+        assert_eq!(first.keys_created, 50);
+        // Nothing changed: the second pull costs only O(1) comparisons —
+        // about ten bytes per key, independent of vector size.
+        let second = b.sync_from(&a, &JoinResolver).unwrap();
+        assert_eq!(second.keys_unchanged, 50);
+        assert_eq!(second.value_bytes, 0);
+        assert!(
+            second.meta_bytes <= 50 * 12,
+            "repeat sync cost {} exceeds O(1) per key (initial was {})",
+            second.meta_bytes,
+            first.meta_bytes
+        );
+        // One changed key costs one delta, not 50 vectors.
+        a.put("key7", "v2");
+        let third = b.sync_from(&a, &JoinResolver).unwrap();
+        assert_eq!(third.keys_fast_forwarded, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut a = KvStore::new(s(0));
+        a.put("x", "1");
+        a.delete("x");
+        a.put("y", "2");
+        let mut buf = a.encode_snapshot();
+        let decoded = KvStore::decode_snapshot(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(decoded, a);
+        assert_eq!(decoded.get("y"), Some(&b"2"[..]));
+        assert_eq!(decoded.get("x"), None);
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let mut a = KvStore::new(s(3));
+        a.put("key", "value");
+        let bytes = a.encode_snapshot();
+        for cut in 0..bytes.len() {
+            let mut buf = bytes.slice(0..cut);
+            assert!(KvStore::decode_snapshot(&mut buf).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn ours_resolver_is_sticky() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("k", "base");
+        b.sync_from(&a, &JoinResolver).unwrap();
+        a.put("k", "a-side");
+        b.put("k", "b-side");
+        b.sync_from(&a, &OursResolver).unwrap();
+        assert_eq!(b.get("k"), Some(&b"b-side"[..]));
+        // b's resolution now dominates; a adopts it.
+        a.sync_from(&b, &OursResolver).unwrap();
+        assert_eq!(a.get("k"), Some(&b"b-side"[..]));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: a fleet of stores under arbitrary put/delete/sync
+//! schedules always converges once gossip quiesces, and never loses a
+//! causally-latest write.
+
+use optrep_core::SiteId;
+use optrep_kv::{JoinResolver, KvStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { store: usize, key: u8, val: u8 },
+    Delete { store: usize, key: u8 },
+    Sync { dst: usize, src: usize },
+}
+
+fn ops(stores: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0..stores, 0u8..5, any::<u8>()).prop_map(|(store, key, val)| Op::Put {
+            store,
+            key,
+            val
+        }),
+        (0..stores, 0u8..5).prop_map(|(store, key)| Op::Delete { store, key }),
+        (0..stores, 0..stores - 1).prop_map(move |(dst, mut src)| {
+            if src >= dst {
+                src += 1;
+            }
+            Op::Sync { dst, src }
+        }),
+    ];
+    proptest::collection::vec(op, 1..len)
+}
+
+fn run(stores: usize, schedule: &[Op]) -> Vec<KvStore> {
+    let mut fleet: Vec<KvStore> = (0..stores)
+        .map(|i| KvStore::new(SiteId::new(i as u32)))
+        .collect();
+    for op in schedule {
+        match op {
+            Op::Put { store, key, val } => {
+                fleet[*store].put(format!("k{key}"), vec![*val]);
+            }
+            Op::Delete { store, key } => {
+                fleet[*store].delete(format!("k{key}"));
+            }
+            Op::Sync { dst, src } => {
+                let src = fleet[*src].clone();
+                fleet[*dst].sync_from(&src, &JoinResolver).expect("sync");
+            }
+        }
+    }
+    fleet
+}
+
+/// All-pairs pulls until no store changes: quiescent gossip.
+fn settle(fleet: &mut [KvStore]) {
+    for _ in 0..fleet.len() * 4 {
+        let mut changed = false;
+        for i in 0..fleet.len() {
+            for j in 0..fleet.len() {
+                if i == j {
+                    continue;
+                }
+                let before = fleet[i].clone();
+                let src = fleet[j].clone();
+                fleet[i].sync_from(&src, &JoinResolver).expect("settle");
+                if fleet[i] != before {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+    panic!("settle did not quiesce");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fleet_converges_after_settling(schedule in ops(4, 60)) {
+        let mut fleet = run(4, &schedule);
+        settle(&mut fleet);
+        for pair in fleet.windows(2) {
+            prop_assert!(
+                pair[0].consistent_with(&pair[1]),
+                "stores diverged after quiescent gossip"
+            );
+        }
+    }
+
+    #[test]
+    fn unconflicted_latest_write_survives(schedule in ops(3, 40)) {
+        // After settling, write one fresh value on store 0 and settle
+        // again: with no concurrent writes it must win everywhere.
+        let mut fleet = run(3, &schedule);
+        settle(&mut fleet);
+        fleet[0].put("k0", b"final".to_vec());
+        settle(&mut fleet);
+        for store in &fleet {
+            prop_assert_eq!(store.get("k0"), Some(&b"final"[..]));
+        }
+    }
+
+    #[test]
+    fn snapshots_roundtrip_any_state(schedule in ops(3, 40)) {
+        let fleet = run(3, &schedule);
+        for store in &fleet {
+            let mut buf = store.encode_snapshot();
+            let decoded = KvStore::decode_snapshot(&mut buf).unwrap();
+            prop_assert_eq!(&decoded, store);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Transports for `optrep` synchronization protocols.
+//!
+//! The protocol endpoints in `optrep-core` are sans-io state machines;
+//! this crate supplies the machinery that moves their messages:
+//!
+//! * [`sim`] — a deterministic discrete-event network simulator with
+//!   per-link latency and bandwidth, virtual time in nanoseconds, and
+//!   byte-accurate accounting. This is the substrate for the paper's
+//!   pipelining experiments (completion-time `(k−1)·rtt` savings, β
+//!   excess bytes).
+//! * [`mem`] — a threaded in-memory transport built on crossbeam
+//!   channels: the same endpoints run under real concurrency, which
+//!   exercises the asynchronous-NAK paths with genuine interleaving.
+//! * [`link`] — the shared byte counters used by both transports.
+
+pub mod link;
+pub mod mem;
+pub mod sim;
+
+pub use link::LinkStats;
+pub use sim::{SimConfig, SimLink, SimReport};

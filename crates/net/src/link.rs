@@ -1,0 +1,81 @@
+//! Byte-level accounting shared by the transports.
+
+use std::fmt;
+
+/// Per-direction byte and message counters for one synchronization run.
+///
+/// Direction `a → b` is the protocol's forward direction (the sender's
+/// element/node stream); `b → a` carries the receiver's replies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Encoded bytes sent a → b.
+    pub bytes_ab: usize,
+    /// Encoded bytes sent b → a.
+    pub bytes_ba: usize,
+    /// Messages sent a → b.
+    pub msgs_ab: usize,
+    /// Messages sent b → a.
+    pub msgs_ba: usize,
+}
+
+impl LinkStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `len` bytes in the forward direction.
+    pub fn record_ab(&mut self, len: usize) {
+        self.bytes_ab += len;
+        self.msgs_ab += 1;
+    }
+
+    /// Records one message of `len` bytes in the backward direction.
+    pub fn record_ba(&mut self, len: usize) {
+        self.bytes_ba += len;
+        self.msgs_ba += 1;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_ab + self.bytes_ba
+    }
+
+    /// Total messages in both directions.
+    pub fn total_msgs(&self) -> usize {
+        self.msgs_ab + self.msgs_ba
+    }
+}
+
+impl fmt::Display for LinkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a→b {} B / {} msgs, b→a {} B / {} msgs",
+            self.bytes_ab, self.msgs_ab, self.bytes_ba, self.msgs_ba
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = LinkStats::new();
+        s.record_ab(10);
+        s.record_ab(5);
+        s.record_ba(1);
+        assert_eq!(s.bytes_ab, 15);
+        assert_eq!(s.msgs_ab, 2);
+        assert_eq!(s.bytes_ba, 1);
+        assert_eq!(s.total_bytes(), 16);
+        assert_eq!(s.total_msgs(), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!LinkStats::new().to_string().is_empty());
+    }
+}

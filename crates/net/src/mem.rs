@@ -1,0 +1,204 @@
+//! Threaded in-memory transport.
+//!
+//! [`run_pair`] spawns each endpoint on its own OS thread, connected by
+//! crossbeam channels carrying *encoded* messages — every message takes a
+//! genuine trip through the wire format. Unlike the lockstep drivers,
+//! scheduling here is whatever the OS provides, so the asynchronous-NAK
+//! paths (`HALT`/`SKIP` racing in-flight elements) are exercised with real
+//! concurrency. Results must nevertheless be identical to the
+//! deterministic drivers — the integration suite asserts exactly that.
+
+use crate::link::LinkStats;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use optrep_core::error::{Error, Result};
+use optrep_core::sync::{Endpoint, WireMsg};
+use bytes::Bytes;
+use std::thread;
+use std::time::Duration;
+
+/// How long an endpoint waits for input before declaring the protocol
+/// stalled.
+const STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Runs two endpoints to completion on separate threads.
+///
+/// Returns the endpoints (with their final state) and the link counters.
+///
+/// # Errors
+///
+/// Propagates the first endpoint error, and returns
+/// [`Error::Incomplete`] if an endpoint waits more than five seconds
+/// without input while the protocol is unfinished.
+pub fn run_pair<A, B, M>(a: A, b: B) -> Result<(A, B, LinkStats)>
+where
+    M: WireMsg + Send + 'static,
+    A: Endpoint<Msg = M> + Send + 'static,
+    B: Endpoint<Msg = M> + Send + 'static,
+{
+    let (tx_ab, rx_ab) = unbounded::<Bytes>();
+    let (tx_ba, rx_ba) = unbounded::<Bytes>();
+    // Keep clones in this thread so late sends never fail even after a
+    // worker exits and drops its receiver.
+    let _keep_ab = rx_ab.clone();
+    let _keep_ba = rx_ba.clone();
+
+    let ja = thread::spawn(move || endpoint_loop(a, tx_ab, rx_ba));
+    let jb = thread::spawn(move || endpoint_loop(b, tx_ba, rx_ab));
+
+    let (a, bytes_ab, msgs_ab) = ja.join().expect("endpoint thread panicked")?;
+    let (b, bytes_ba, msgs_ba) = jb.join().expect("endpoint thread panicked")?;
+    Ok((
+        a,
+        b,
+        LinkStats {
+            bytes_ab,
+            bytes_ba,
+            msgs_ab,
+            msgs_ba,
+        },
+    ))
+}
+
+/// Drives one endpoint: drain its outbox onto the channel, then block for
+/// input until it reports done. Returns the endpoint and the bytes and
+/// messages it sent.
+fn endpoint_loop<E, M>(
+    mut ep: E,
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+) -> Result<(E, usize, usize)>
+where
+    M: WireMsg,
+    E: Endpoint<Msg = M>,
+{
+    let mut sent_bytes = 0;
+    let mut sent_msgs = 0;
+    loop {
+        while let Some(m) = ep.poll_send() {
+            let bytes = m.to_bytes();
+            sent_bytes += bytes.len();
+            sent_msgs += 1;
+            // The main thread holds a receiver clone, so this cannot fail
+            // while the run is alive.
+            let _ = tx.send(bytes);
+        }
+        if ep.is_done() {
+            return Ok((ep, sent_bytes, sent_msgs));
+        }
+        match rx.recv_timeout(STALL_TIMEOUT) {
+            Ok(bytes) => {
+                let mut buf = bytes;
+                let msg = M::decode(&mut buf).map_err(Error::from)?;
+                ep.on_receive(msg)?;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(Error::Incomplete {
+                    protocol: "mem transport",
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(Error::Incomplete {
+                    protocol: "mem transport",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optrep_core::graph::{CausalGraph, NodeId, SyncGReceiver, SyncGSender};
+    use optrep_core::rotating::{Brv, Crv, RotatingVector, Srv};
+    use optrep_core::sync::sender::VectorSender;
+    use optrep_core::sync::{SyncBReceiver, SyncCReceiver, SyncSReceiver};
+    use optrep_core::SiteId;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    #[test]
+    fn brv_sync_over_threads() {
+        let mut b = Brv::new();
+        for i in 0..50 {
+            b.record_update(s(i % 10));
+        }
+        let a = Brv::new();
+        let relation = a.compare(&b);
+        let tx = VectorSender::new(b.clone());
+        let rx = SyncBReceiver::new(a, relation).unwrap();
+        let (_, rx, stats) = run_pair(tx, rx).unwrap();
+        let (out, _) = rx.finish();
+        assert_eq!(out, b);
+        assert!(stats.bytes_ab > 0);
+    }
+
+    #[test]
+    fn crv_reconciliation_over_threads() {
+        let mut a = Crv::new();
+        let mut b = Crv::new();
+        a.record_update(s(0));
+        a.record_update(s(1));
+        b.record_update(s(2));
+        b.record_update(s(3));
+        let relation = a.compare(&b);
+        assert!(relation.is_concurrent());
+        let tx = VectorSender::new(b.clone());
+        let rx = SyncCReceiver::new(a, relation);
+        let (_, rx, _) = run_pair(tx, rx).unwrap();
+        let (out, _) = rx.finish();
+        for i in 0..4 {
+            assert_eq!(out.value(s(i)), 1);
+        }
+    }
+
+    #[test]
+    fn srv_sync_over_threads_matches_lockstep() {
+        let build = || {
+            let mut a = Srv::new();
+            let mut b = Srv::new();
+            for i in 0..40 {
+                b.record_update(s(i % 8));
+                if i % 4 == 0 {
+                    a.record_update(s(10 + i % 3));
+                }
+            }
+            (a, b)
+        };
+        let (mut a_lock, b) = build();
+        optrep_core::sync::drive::sync_srv(&mut a_lock, &b).unwrap();
+
+        let (a, b) = build();
+        let relation = a.compare(&b);
+        let tx = VectorSender::new(b);
+        let rx = SyncSReceiver::new(a, relation);
+        let (_, rx, _) = run_pair(tx, rx).unwrap();
+        let (a_threaded, _) = rx.finish();
+        assert_eq!(
+            a_lock.to_version_vector(),
+            a_threaded.to_version_vector(),
+            "threaded and lockstep runs agree on values"
+        );
+    }
+
+    #[test]
+    fn graph_sync_over_threads() {
+        let mut b = CausalGraph::new();
+        b.record_root(NodeId::of(s(0), 0));
+        for i in 1..30 {
+            b.record_op(NodeId::of(s(0), i));
+        }
+        let mut a = CausalGraph::new();
+        a.record_root(NodeId::of(s(0), 0));
+        for i in 1..10 {
+            a.record_op(NodeId::of(s(0), i));
+        }
+        let tx = SyncGSender::new(b.clone());
+        let rx = SyncGReceiver::new(a);
+        let (_, rx, _) = run_pair(tx, rx).unwrap();
+        let (out, received) = rx.finish();
+        assert!(out.contains_graph(&b));
+        assert_eq!(received.len(), 20);
+    }
+}

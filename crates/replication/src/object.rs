@@ -1,0 +1,54 @@
+//! Object identifiers.
+
+use std::fmt;
+
+/// Identifier of a replicated object.
+///
+/// An object "can be as large as a full-fledged relational database, or as
+/// small as a single file or log entry" (§2.1); the substrate identifies
+/// each by a dense index.
+///
+/// ```
+/// use optrep_replication::ObjectId;
+/// let obj = ObjectId::new(3);
+/// assert_eq!(obj.index(), 3);
+/// assert_eq!(obj.to_string(), "obj3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(u64);
+
+impl ObjectId {
+    /// Creates an object identifier from its index.
+    pub const fn new(index: u64) -> Self {
+        ObjectId(index)
+    }
+
+    /// The numeric index of this object.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(index: u64) -> Self {
+        ObjectId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_order() {
+        assert_eq!(ObjectId::from(7).index(), 7);
+        assert!(ObjectId::new(1) < ObjectId::new(2));
+        assert_eq!(ObjectId::new(0).to_string(), "obj0");
+    }
+}

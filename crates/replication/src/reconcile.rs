@@ -1,0 +1,74 @@
+//! Automatic conflict reconciliation policies.
+//!
+//! When synchronization finds concurrent replicas, systems with automatic
+//! resolution merge the payloads and continue (§2.1: "automatic resolution
+//! merges concurrent updates and generates a new version without excluding
+//! replicas"). The merge function is application semantics; the substrate
+//! takes it as a [`Reconciler`].
+
+use crate::payload::TokenSet;
+
+/// An automatic payload merge for concurrent replicas.
+///
+/// For the replication system to be eventually consistent, the merge
+/// should be deterministic, commutative and idempotent (a join); the
+/// provided [`UnionReconciler`] is the canonical example.
+pub trait Reconciler<P> {
+    /// Merges the receiver's payload (`ours`) with the sender's
+    /// (`theirs`) into the reconciled version.
+    fn merge(&self, ours: &P, theirs: &P) -> P;
+}
+
+/// Set-union reconciliation for [`TokenSet`] payloads — deterministic and
+/// convergent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnionReconciler;
+
+impl Reconciler<TokenSet> for UnionReconciler {
+    fn merge(&self, ours: &TokenSet, theirs: &TokenSet) -> TokenSet {
+        ours.union(theirs)
+    }
+}
+
+/// Keeps the receiver's payload, discarding the sender's concurrent
+/// changes ("ours wins"). Deterministic but lossy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PickReceiver;
+
+impl<P: Clone> Reconciler<P> for PickReceiver {
+    fn merge(&self, ours: &P, _theirs: &P) -> P {
+        ours.clone()
+    }
+}
+
+/// Adopts the sender's payload, discarding the receiver's concurrent
+/// changes ("theirs wins"). Deterministic but lossy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PickSender;
+
+impl<P: Clone> Reconciler<P> for PickSender {
+    fn merge(&self, _ours: &P, theirs: &P) -> P {
+        theirs.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_merges_both_sides() {
+        let ours = TokenSet::singleton("a");
+        let theirs = TokenSet::singleton("b");
+        let merged = UnionReconciler.merge(&ours, &theirs);
+        assert!(merged.contains("a") && merged.contains("b"));
+    }
+
+    #[test]
+    fn pick_policies() {
+        let ours = TokenSet::singleton("a");
+        let theirs = TokenSet::singleton("b");
+        assert_eq!(PickReceiver.merge(&ours, &theirs), ours);
+        assert_eq!(PickSender.merge(&ours, &theirs), theirs);
+    }
+}

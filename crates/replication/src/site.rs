@@ -1,0 +1,223 @@
+//! Participating sites and their replicas.
+
+use crate::meta::ReplicaMeta;
+use crate::object::ObjectId;
+use crate::payload::ReplicaPayload;
+use optrep_core::SiteId;
+use std::collections::HashMap;
+
+/// One replica of an object: the payload plus its concurrency-control
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateReplica<M, P> {
+    /// Concurrency-control metadata (a rotating vector or the baseline).
+    pub meta: M,
+    /// The object state; state transfer overwrites it wholesale.
+    pub payload: P,
+}
+
+/// A record of a detected conflict that awaits manual resolution (BRV
+/// systems exclude the conflicting replicas instead of reconciling, §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictRecord {
+    /// The object whose replicas conflicted.
+    pub object: ObjectId,
+    /// The peer site whose replica is concurrent with ours.
+    pub with: SiteId,
+}
+
+/// Per-site counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Local updates performed.
+    pub updates: u64,
+    /// Synchronization sessions where this site was the receiver.
+    pub syncs_received: u64,
+    /// Conflicts detected at this site.
+    pub conflicts: u64,
+    /// Automatic reconciliations performed at this site.
+    pub reconciliations: u64,
+}
+
+/// A participating site: hosts at most one replica per object (§2.1).
+#[derive(Debug, Clone)]
+pub struct Site<M, P> {
+    id: SiteId,
+    replicas: HashMap<ObjectId, StateReplica<M, P>>,
+    conflicts: Vec<ConflictRecord>,
+    stats: SiteStats,
+}
+
+impl<M: ReplicaMeta, P: ReplicaPayload> Site<M, P> {
+    /// Creates a site with no replicas.
+    pub fn new(id: SiteId) -> Self {
+        Site {
+            id,
+            replicas: HashMap::new(),
+            conflicts: Vec::new(),
+            stats: SiteStats::default(),
+        }
+    }
+
+    /// This site's identifier.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// Creates an object on this site with an initial payload. The
+    /// creation counts as the object's first update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site already hosts a replica of `object`.
+    pub fn create_object(&mut self, object: ObjectId, payload: P) {
+        assert!(
+            !self.replicas.contains_key(&object),
+            "site {} already hosts {object}",
+            self.id
+        );
+        let mut meta = M::default();
+        meta.record_update(self.id);
+        self.stats.updates += 1;
+        self.replicas.insert(object, StateReplica { meta, payload });
+    }
+
+    /// Applies a local update: mutates the payload and increments this
+    /// site's element (rotating it to the front, §3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site hosts no replica of `object`.
+    pub fn update(&mut self, object: ObjectId, mutate: impl FnOnce(&mut P)) {
+        let replica = self
+            .replicas
+            .get_mut(&object)
+            .unwrap_or_else(|| panic!("site {} hosts no {object}", self.id));
+        mutate(&mut replica.payload);
+        replica.meta.record_update(self.id);
+        self.stats.updates += 1;
+    }
+
+    /// The replica of `object`, if hosted here.
+    pub fn replica(&self, object: ObjectId) -> Option<&StateReplica<M, P>> {
+        self.replicas.get(&object)
+    }
+
+    /// Objects hosted on this site, in sorted order.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut objs: Vec<_> = self.replicas.keys().copied().collect();
+        objs.sort_unstable();
+        objs
+    }
+
+    /// Number of replicas hosted.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Conflicts recorded for manual resolution.
+    pub fn conflicts(&self) -> &[ConflictRecord] {
+        &self.conflicts
+    }
+
+    /// Per-site counters.
+    pub fn stats(&self) -> SiteStats {
+        self.stats
+    }
+
+    /// Manually resolves a conflict by adopting the peer replica wholesale
+    /// (metadata and payload), excluding this site's concurrent updates —
+    /// the "exclude and let a human pick" policy of manual resolution.
+    /// Clears matching conflict records.
+    pub fn resolve_adopt(&mut self, object: ObjectId, winner: &StateReplica<M, P>) {
+        self.replicas.insert(
+            object,
+            StateReplica {
+                meta: winner.meta.clone(),
+                payload: winner.payload.clone(),
+            },
+        );
+        self.conflicts.retain(|c| c.object != object);
+    }
+
+    pub(crate) fn replica_mut(&mut self, object: ObjectId) -> Option<&mut StateReplica<M, P>> {
+        self.replicas.get_mut(&object)
+    }
+
+    pub(crate) fn insert_replica(&mut self, object: ObjectId, replica: StateReplica<M, P>) {
+        self.replicas.insert(object, replica);
+    }
+
+    pub(crate) fn record_conflict(&mut self, record: ConflictRecord) {
+        self.stats.conflicts += 1;
+        self.conflicts.push(record);
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut SiteStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::TokenSet;
+    use optrep_core::Srv;
+
+    fn obj(i: u64) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    #[test]
+    fn create_and_update() {
+        let mut site: Site<Srv, TokenSet> = Site::new(SiteId::new(0));
+        site.create_object(obj(1), TokenSet::singleton("init"));
+        assert_eq!(site.replica_count(), 1);
+        site.update(obj(1), |p| {
+            p.insert("A:1");
+        });
+        let r = site.replica(obj(1)).unwrap();
+        assert!(r.payload.contains("A:1"));
+        assert_eq!(r.meta.values().value(SiteId::new(0)), 2, "create + update");
+        assert_eq!(site.stats().updates, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already hosts")]
+    fn double_create_panics() {
+        let mut site: Site<Srv, TokenSet> = Site::new(SiteId::new(0));
+        site.create_object(obj(1), TokenSet::new());
+        site.create_object(obj(1), TokenSet::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "hosts no")]
+    fn update_unknown_object_panics() {
+        let mut site: Site<Srv, TokenSet> = Site::new(SiteId::new(0));
+        site.update(obj(9), |_| {});
+    }
+
+    #[test]
+    fn resolve_adopt_replaces_replica() {
+        let mut a: Site<Srv, TokenSet> = Site::new(SiteId::new(0));
+        let mut b: Site<Srv, TokenSet> = Site::new(SiteId::new(1));
+        a.create_object(obj(1), TokenSet::singleton("a"));
+        b.create_object(obj(1), TokenSet::singleton("b"));
+        a.record_conflict(ConflictRecord {
+            object: obj(1),
+            with: SiteId::new(1),
+        });
+        let winner = b.replica(obj(1)).unwrap().clone();
+        a.resolve_adopt(obj(1), &winner);
+        assert_eq!(a.replica(obj(1)).unwrap().payload, winner.payload);
+        assert!(a.conflicts().is_empty());
+    }
+
+    #[test]
+    fn objects_sorted() {
+        let mut site: Site<Srv, TokenSet> = Site::new(SiteId::new(0));
+        site.create_object(obj(3), TokenSet::new());
+        site.create_object(obj(1), TokenSet::new());
+        assert_eq!(site.objects(), vec![obj(1), obj(3)]);
+    }
+}

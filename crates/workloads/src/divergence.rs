@@ -1,0 +1,103 @@
+//! Adversarial maximum-divergence workloads for the Table 2 bounds.
+//!
+//! The communication upper bounds of Table 2 are worst cases: *every*
+//! element differs, so the whole vector crosses the wire. These builders
+//! construct such pairs directly:
+//!
+//! * [`worst_case_pair`] — `a` empty, `b` holding `n` elements each with
+//!   value `m`: `SYNC*_b(a)` must transfer all `n` elements.
+//! * [`conflict_storm`] — a CRV/SRV pair where every element of `b` is
+//!   conflict-tagged and already known to `a`, maximizing the `Γ` term of
+//!   `SYNCC` (and the skips of `SYNCS`).
+
+use optrep_core::order::Element;
+use optrep_core::rotating::RotatingVector;
+use optrep_core::{Crv, SiteId, Srv};
+
+/// Builds the Table-2 worst case: an empty receiver vector and a sender
+/// vector with `n` elements of value `m` each. Returns `(a, b)` for any
+/// rotating type via the supplied constructor.
+pub fn worst_case_pair<V, FMake>(n: u32, m: u64, make: FMake) -> (V, V)
+where
+    V: RotatingVector,
+    FMake: Fn() -> V,
+{
+    let a = make();
+    let mut b = make();
+    for round in 0..m {
+        for i in 0..n {
+            // Round-robin updates so every element reaches value m and the
+            // order ends at ⟨S(n−1):m, …, S0:m⟩.
+            let _ = round;
+            b.record_update(SiteId::new(i));
+        }
+    }
+    (a, b)
+}
+
+/// Builds a pair maximizing CRV's redundant `Γ` transmission: `a` and `b`
+/// have identical values, but every element of `b` carries a set conflict
+/// bit except the last, so `SYNCC_b(a)` must stream through all of them
+/// before halting. For SRV the same segment is skippable in O(1).
+///
+/// Returns `(a_crv, b_crv, a_srv, b_srv)` with identical values.
+pub fn conflict_storm(n: u32) -> (Crv, Crv, Srv, Srv) {
+    assert!(n >= 2, "a storm needs at least two elements");
+    let elems = |conflict_all: bool, segment_bits: bool| -> Vec<Element> {
+        (0..n)
+            .map(|i| Element {
+                site: SiteId::new(i),
+                value: 1,
+                // The final element keeps a clear bit so the receiver halts.
+                conflict: conflict_all && i + 1 < n,
+                // One big closed segment ending just before the clear tail.
+                segment: segment_bits && i + 2 == n,
+            })
+            .collect()
+    };
+    let a_crv = Crv::from_order(elems(false, false));
+    let b_crv = Crv::from_order(elems(true, false));
+    let a_srv = Srv::from_order(elems(false, false));
+    let b_srv = Srv::from_order(elems(true, true));
+    (a_crv, b_crv, a_srv, b_srv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optrep_core::sync::drive::{sync_crv, sync_srv};
+    use optrep_core::{Brv, Srv};
+
+    #[test]
+    fn worst_case_transfers_everything() {
+        let (mut a, b) = worst_case_pair(50, 3, Brv::new);
+        let report = optrep_core::sync::drive::sync_brv(&mut a, &b).unwrap();
+        assert_eq!(report.receiver.delta, 50);
+        assert_eq!(a.to_version_vector(), b.to_version_vector());
+        assert!(a.iter().all(|e| e.value == 3));
+    }
+
+    #[test]
+    fn conflict_storm_maximizes_crv_gamma() {
+        let (mut a_crv, b_crv, mut a_srv, b_srv) = conflict_storm(40);
+        let crv = sync_crv(&mut a_crv, &b_crv).unwrap();
+        let srv = sync_srv(&mut a_srv, &b_srv).unwrap();
+        // CRV wades through all tagged elements.
+        assert_eq!(crv.receiver.gamma, 40);
+        // SRV skips the tagged segment after its first element.
+        assert!(
+            srv.receiver.elements_received <= 4,
+            "SRV received {} elements",
+            srv.receiver.elements_received
+        );
+        assert_eq!(srv.receiver.skips, 1);
+        assert!(srv.bytes_forward < crv.bytes_forward / 5);
+    }
+
+    #[test]
+    fn worst_case_value_m_reached() {
+        let (_, b) = worst_case_pair::<Srv, _>(8, 7, Srv::new);
+        assert!(b.iter().all(|e| e.value == 7));
+        assert_eq!(b.len(), 8);
+    }
+}

@@ -1,0 +1,288 @@
+//! The exact scenario of the paper's Figures 1–3, scripted event by event.
+//!
+//! Eight sites `A … H` create and exchange one object, producing the
+//! vectors θ1 … θ9 of the replication graph (Figure 1) and its coalesced
+//! form (Figure 2), plus the causal graphs of sites A and C (Figure 3).
+//! The merge steps use the real `SYNCS` protocol (θ7 := SYNCS_θ6(θ2),
+//! θ9 := SYNCS_θ3(θ8)), so the element orders are the organic result of
+//! the algorithms, not hand-built fixtures.
+//!
+//! One deliberate difference from the paper's illustration: this
+//! implementation only places a segment boundary where reconciliation
+//! demands one, so consecutive prefixing segments of a *single-parent
+//! chain* stay fused (knowing the chain's front element causally implies
+//! knowing the rest — the skip-safety property is preserved). The paper's
+//! Figure 2 draws every CRG prefixing segment separately: θ9 there has
+//! five segments ⟨C⟩⟨H⟩⟨G,F,E⟩⟨B⟩⟨A⟩, while this implementation's θ9 has
+//! three: ⟨C⟩⟨H,G,F,E⟩⟨B,A⟩. Fused segments can only *reduce* the γ term.
+//! The §4 worked example is unaffected: synchronizing θ9 into θ7 sends
+//! exactly the C, H, G and B elements, like the paper says.
+
+use optrep_core::graph::{CausalGraph, NodeId};
+use optrep_core::sync::drive::sync_srv;
+use optrep_core::sync::SyncReport;
+use optrep_core::{RotatingVector, SiteId, Srv};
+
+/// Site letters used by the figures.
+const A: SiteId = SiteId::new(0);
+const B: SiteId = SiteId::new(1);
+const C: SiteId = SiteId::new(2);
+const E: SiteId = SiteId::new(4);
+const F: SiteId = SiteId::new(5);
+const G: SiteId = SiteId::new(6);
+const H: SiteId = SiteId::new(7);
+
+/// The fully built Figure 1/2/3 scenario.
+#[derive(Debug, Clone)]
+pub struct FigureScenario {
+    /// θ1 … θ9 (index 0 holds θ1).
+    pub theta: Vec<Srv>,
+    /// The paper's node numbers 1…9 mapped to operation ids (index 0
+    /// holds node 1).
+    pub node: Vec<NodeId>,
+    /// Site A's causal graph: nodes 1, 2, 4–7, sink 7 (Figure 3, left).
+    pub graph_site_a: CausalGraph,
+    /// Site C's causal graph: nodes 1, 4–6, sink 6 (Figure 3, right).
+    pub graph_site_c: CausalGraph,
+}
+
+impl FigureScenario {
+    /// Replays the scenario. Every vector transition uses real local
+    /// updates and real `SYNCS` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any intermediate state disagrees with the paper — the
+    /// construction double-checks itself.
+    pub fn build() -> Self {
+        // Node 1: A creates the object.
+        let mut theta1 = Srv::new();
+        theta1.record_update(A);
+
+        // Node 2: B replicates θ1 and updates.
+        let mut theta2 = theta1.clone();
+        theta2.record_update(B);
+
+        // Node 3: C replicates θ2 and updates.
+        let mut theta3 = theta2.clone();
+        theta3.record_update(C);
+
+        // Nodes 4–6: E, F, G extend θ1's line.
+        let mut theta4 = theta1.clone();
+        theta4.record_update(E);
+        let mut theta5 = theta4.clone();
+        theta5.record_update(F);
+        let mut theta6 = theta5.clone();
+        theta6.record_update(G);
+
+        // Node 7: θ7 := SYNCS_θ6(θ2) — reconciliation on B's replica.
+        let mut theta7 = theta2.clone();
+        sync_srv(&mut theta7, &theta6).expect("θ7 reconciliation");
+        assert_eq!(
+            render(&theta7),
+            "G:1, F:1, E:1, B:1, A:1",
+            "θ7 element order must match Figure 2"
+        );
+
+        // Node 8: H replicates θ7 and updates.
+        let mut theta8 = theta7.clone();
+        theta8.record_update(H);
+
+        // Node 9: θ9 := SYNCS_θ3(θ8) — reconciliation on H's replica.
+        let mut theta9 = theta8.clone();
+        sync_srv(&mut theta9, &theta3).expect("θ9 reconciliation");
+        assert_eq!(
+            render(&theta9),
+            "C:1, H:1, G:1, F:1, E:1, B:1, A:1",
+            "θ9 element order must match Figure 2"
+        );
+
+        // Operation ids: per-site sequence numbers (B and H each make two).
+        let node = vec![
+            NodeId::of(A, 0), // 1
+            NodeId::of(B, 0), // 2
+            NodeId::of(C, 0), // 3
+            NodeId::of(E, 0), // 4
+            NodeId::of(F, 0), // 5
+            NodeId::of(G, 0), // 6
+            NodeId::of(B, 1), // 7 (merge of 2 and 6, recorded by B)
+            NodeId::of(H, 0), // 8
+            NodeId::of(H, 1), // 9 (merge of 8 and 3, recorded by H)
+        ];
+        let n = |k: usize| node[k - 1];
+
+        // Figure 3, left: site A's graph holds nodes 1, 2, 4–7, sink 7.
+        let mut graph_site_a = CausalGraph::new();
+        graph_site_a.record_root(n(1));
+        graph_site_a.record_op(n(4));
+        graph_site_a.record_op(n(5));
+        graph_site_a.record_op(n(6));
+        graph_site_a.insert_remote(n(2), optrep_core::graph::Parents::one(n(1)));
+        graph_site_a.record_merge(n(7), n(2));
+        assert!(graph_site_a.validate().is_empty());
+
+        // Figure 3, right: site C's graph holds nodes 1, 4–6, sink 6.
+        let mut graph_site_c = CausalGraph::new();
+        graph_site_c.record_root(n(1));
+        graph_site_c.record_op(n(4));
+        graph_site_c.record_op(n(5));
+        graph_site_c.record_op(n(6));
+
+        FigureScenario {
+            theta: vec![
+                theta1, theta2, theta3, theta4, theta5, theta6, theta7, theta8, theta9,
+            ],
+            node,
+            graph_site_a,
+            graph_site_c,
+        }
+    }
+
+    /// θk, 1-based like the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k ≤ 9`.
+    pub fn theta(&self, k: usize) -> &Srv {
+        &self.theta[k - 1]
+    }
+
+    /// Runs the §4 worked example — `SYNCS_θ9(θ7)`, site A pulling from
+    /// the θ9 replica — and returns the synchronized vector plus the
+    /// transfer report. The paper: "only C, H, G and Bth elements are
+    /// sent"; the report's `elements_sent` is asserted to be 4 by the
+    /// figure tests.
+    pub fn sync_theta9_into_theta7(&self) -> (Srv, SyncReport) {
+        let mut a = self.theta(7).clone();
+        let report = sync_srv(&mut a, self.theta(9)).expect("worked example runs");
+        (a, report)
+    }
+}
+
+impl Default for FigureScenario {
+    fn default() -> Self {
+        Self::build()
+    }
+}
+
+/// Renders just the `site:value` list of a vector (no bit markers).
+fn render(v: &Srv) -> String {
+    v.iter()
+        .map(|e| format!("{}:{}", e.site, e.value))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optrep_core::Causality;
+
+    #[test]
+    fn vectors_match_figure_1() {
+        let fig = FigureScenario::build();
+        assert_eq!(render(fig.theta(1)), "A:1");
+        assert_eq!(render(fig.theta(2)), "B:1, A:1");
+        assert_eq!(render(fig.theta(3)), "C:1, B:1, A:1");
+        assert_eq!(render(fig.theta(4)), "E:1, A:1");
+        assert_eq!(render(fig.theta(5)), "F:1, E:1, A:1");
+        assert_eq!(render(fig.theta(6)), "G:1, F:1, E:1, A:1");
+        assert_eq!(render(fig.theta(8)), "H:1, G:1, F:1, E:1, B:1, A:1");
+    }
+
+    #[test]
+    fn theta9_segments_are_fused_prefixing_segments() {
+        let fig = FigureScenario::build();
+        let segs: Vec<Vec<String>> = fig
+            .theta(9)
+            .segments()
+            .into_iter()
+            .map(|seg| seg.into_iter().map(|e| e.site.to_string()).collect())
+            .collect();
+        // Paper draws ⟨C⟩⟨H⟩⟨G,F,E⟩⟨B⟩⟨A⟩; single-parent chains fuse here.
+        assert_eq!(
+            segs,
+            vec![
+                vec!["C".to_string()],
+                vec!["H".into(), "G".into(), "F".into(), "E".into()],
+                vec!["B".into(), "A".into()],
+            ]
+        );
+    }
+
+    #[test]
+    fn worked_example_sends_c_h_g_b() {
+        let fig = FigureScenario::build();
+        let (merged, report) = fig.sync_theta9_into_theta7();
+        // θ7 ≺ θ9 (θ9 knows everything θ7 does, plus C and H).
+        assert_eq!(report.relation, Some(Causality::Before));
+        // "only C, H, G and Bth elements are sent" (§4).
+        assert_eq!(report.elements_sent, 4);
+        assert_eq!(report.receiver.delta, 2, "C and H are new");
+        assert_eq!(report.receiver.gamma, 2, "G and B are known");
+        assert_eq!(report.receiver.skips, 1, "⟨…F,E⟩ tail skipped");
+        // The result carries θ9's values.
+        assert_eq!(merged.to_version_vector(), fig.theta(9).to_version_vector());
+    }
+
+    #[test]
+    fn figure3_graph_shapes() {
+        let fig = FigureScenario::build();
+        assert_eq!(fig.graph_site_a.len(), 6);
+        assert_eq!(fig.graph_site_a.head(), Some(fig.node[6]));
+        assert_eq!(fig.graph_site_c.len(), 4);
+        assert_eq!(fig.graph_site_c.head(), Some(fig.node[5]));
+        assert_eq!(
+            fig.graph_site_c.compare(&fig.graph_site_a),
+            Causality::Before
+        );
+    }
+
+    #[test]
+    fn comparisons_match_the_replication_graph() {
+        let fig = FigureScenario::build();
+        // Chain relations.
+        assert_eq!(fig.theta(1).compare(fig.theta(2)), Causality::Before);
+        assert_eq!(fig.theta(2).compare(fig.theta(3)), Causality::Before);
+        assert_eq!(fig.theta(1).compare(fig.theta(6)), Causality::Before);
+        // Cross-branch conflicts.
+        assert_eq!(fig.theta(2).compare(fig.theta(6)), Causality::Concurrent);
+        assert_eq!(fig.theta(3).compare(fig.theta(8)), Causality::Concurrent);
+        // Merges dominate their parents (where the front-element
+        // invariant still holds; see the caveat test for θ6/θ7 and θ3/θ9).
+        assert_eq!(fig.theta(2).compare(fig.theta(7)), Causality::Before);
+        assert_eq!(fig.theta(8).compare(fig.theta(9)), Causality::Before);
+    }
+
+    #[test]
+    fn missing_parker_increment_breaks_o1_compare() {
+        // The figures (like the paper's illustration) do NOT perform the
+        // Parker §C post-reconciliation increment, so the front-element
+        // invariant is broken at θ7: both θ6 and θ7 lead with (G, 1), and
+        // the O(1) COMPARE misreports them as equal even though θ6 ≺ θ7.
+        // This is precisely why the replication layer always records the
+        // increment after reconciling.
+        let fig = FigureScenario::build();
+        let reference = fig
+            .theta(6)
+            .to_version_vector()
+            .compare(&fig.theta(7).to_version_vector());
+        assert_eq!(reference, Causality::Before, "ground truth");
+        assert_eq!(
+            fig.theta(6).compare(fig.theta(7)),
+            Causality::Equal,
+            "O(1) COMPARE is fooled without the increment"
+        );
+        // With the increment (B counts the reconciliation as an update),
+        // COMPARE is correct again.
+        let mut theta7_fixed = fig.theta(7).clone();
+        theta7_fixed.record_update(SiteId::new(1));
+        assert_eq!(fig.theta(6).compare(&theta7_fixed), Causality::Before);
+        // θ3 vs θ9 exhibits the same failure (both lead with C:1) …
+        assert_eq!(fig.theta(3).compare(fig.theta(9)), Causality::Equal);
+        // … and the same fix.
+        let mut theta9_fixed = fig.theta(9).clone();
+        theta9_fixed.record_update(H);
+        assert_eq!(fig.theta(3).compare(&theta9_fixed), Causality::Before);
+    }
+}

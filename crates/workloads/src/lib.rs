@@ -1,0 +1,25 @@
+//! Workload generators for optimistic-replication experiments.
+//!
+//! The paper publishes no traces; these generators produce parameterized
+//! synthetic workloads that exercise the same code paths:
+//!
+//! * [`trace`] — randomized single-object update/sync traces over `n`
+//!   sites with configurable update:sync ratio and topology, replayable
+//!   against any metadata scheme.
+//! * [`conflict`] — a pairwise workload with a controlled conflict rate,
+//!   the key variable of the CRV-vs-SRV comparison (experiment E4).
+//! * [`figures`] — the exact scenario of the paper's Figures 1–3
+//!   (θ1 … θ9), scripted event by event.
+//! * [`divergence`] — adversarial maximum-divergence vector pairs for the
+//!   Table 2 worst-case bound measurements.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod conflict;
+pub mod divergence;
+pub mod figures;
+pub mod trace;
+
+pub use conflict::{ConflictConfig, ConflictStats};
+pub use figures::FigureScenario;
+pub use trace::{replay, Event, ReplayStats, Topology, TraceConfig};

@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the whole `optrep` workspace.
+//!
+//! This crate exists so that examples and integration tests at the workspace
+//! root can exercise the full public API through a single dependency. See
+//! [`optrep_core`] for the paper's algorithms, [`optrep_net`] for transports,
+//! [`optrep_replication`] for the replication substrate and
+//! [`optrep_workloads`] for workload generators.
+pub use optrep_core as core;
+pub use optrep_kv as kv;
+pub use optrep_net as net;
+pub use optrep_replication as replication;
+pub use optrep_workloads as workloads;
