@@ -26,7 +26,9 @@ fn run(flow: FlowControl) {
 fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_syncb_k256");
     group.sample_size(30);
-    group.bench_function("pipelined", |bench| bench.iter(|| run(FlowControl::Pipelined)));
+    group.bench_function("pipelined", |bench| {
+        bench.iter(|| run(FlowControl::Pipelined))
+    });
     group.bench_function("stop_and_wait", |bench| {
         bench.iter(|| run(FlowControl::StopAndWait))
     });

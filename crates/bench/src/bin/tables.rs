@@ -5,8 +5,14 @@
 //! tables t2 e4 f2     # a selection
 //! tables --list       # available ids
 //! ```
+//!
+//! Each experiment additionally writes its tables to `BENCH_<id>.json`
+//! (one JSON array of `{title, headers, rows, notes}` objects) in the
+//! current directory, so the performance trajectory is machine-trackable
+//! across revisions.
 
 use optrep_bench::experiments;
+use optrep_bench::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +33,10 @@ fn main() {
         let mut ids = Vec::new();
         for arg in &args {
             if !experiments::is_known(arg) {
-                eprintln!("unknown experiment {arg:?}; known ids: {}", experiments::ALL.join(" "));
+                eprintln!(
+                    "unknown experiment {arg:?}; known ids: {}",
+                    experiments::ALL.join(" ")
+                );
                 std::process::exit(2);
             }
             ids.push(arg.as_str());
@@ -35,8 +44,22 @@ fn main() {
         ids
     };
     for id in ids {
-        for table in experiments::run(id) {
+        let tables = experiments::run(id);
+        for table in &tables {
             println!("{table}");
+        }
+        let json = format!(
+            "[{}]\n",
+            tables
+                .iter()
+                .map(Table::to_json)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let path = format!("BENCH_{id}.json");
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
         }
     }
 }

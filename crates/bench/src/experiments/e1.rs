@@ -10,8 +10,8 @@
 use crate::table::Table;
 use optrep_core::rotating::{elem, Brv, Crv, RotatingVector};
 use optrep_core::sync::drive::sync_crv;
-use optrep_core::sync::{Endpoint, Msg, SyncBReceiver};
 use optrep_core::sync::sender::VectorSender;
+use optrep_core::sync::{Endpoint, Msg, SyncBReceiver};
 use optrep_core::{Causality, SiteId};
 
 const A: SiteId = SiteId::new(0);

@@ -23,7 +23,11 @@ fn vector_of(k: u32) -> Brv {
 
 fn run_once(k: u32, cfg: SimConfig, flow: FlowControl, receiver_known: bool) -> SimReport {
     let b = vector_of(k);
-    let a = if receiver_known { b.clone() } else { Brv::new() };
+    let a = if receiver_known {
+        b.clone()
+    } else {
+        Brv::new()
+    };
     let relation = a.compare(&b);
     let tx = VectorSender::with_flow(b, flow);
     let rx = SyncBReceiver::with_flow(a, relation, flow).expect("comparable");
@@ -76,7 +80,12 @@ pub fn run() -> Vec<Table> {
             "excess/β",
         ],
     );
-    for &(bw, rtt_ms) in &[(1_000u64, 20u64), (10_000, 20), (10_000, 100), (100_000, 100)] {
+    for &(bw, rtt_ms) in &[
+        (1_000u64, 20u64),
+        (10_000, 20),
+        (10_000, 100),
+        (100_000, 100),
+    ] {
         let cfg = SimConfig::symmetric(rtt_ms * 1_000_000 / 2, Some(bw));
         // Receiver already knows everything: the very first element draws
         // a HALT while the sender keeps the line busy for one rtt.

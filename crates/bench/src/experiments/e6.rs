@@ -63,7 +63,13 @@ pub fn run() -> Vec<Table> {
             "full/SYNCG",
         ],
     );
-    for &(shared, d) in &[(100u32, 1u32), (100, 10), (1000, 10), (5000, 10), (5000, 100)] {
+    for &(shared, d) in &[
+        (100u32, 1u32),
+        (100, 10),
+        (1000, 10),
+        (5000, 10),
+        (5000, 100),
+    ] {
         let (mut a_inc, b) = linear_pair(shared, d);
         let mut a_full = a_inc.clone();
         let (inc, _) = a_inc.sync_from(&b).expect("incremental");

@@ -38,7 +38,12 @@ pub fn run() -> Vec<Table> {
 
     let mut agree = Table::new(
         "E7b: O(1) COMPARE agreement with the O(n) reference over legal traces",
-        &["trace seed", "pairs compared", "agreements", "conflicts seen"],
+        &[
+            "trace seed",
+            "pairs compared",
+            "agreements",
+            "conflicts seen",
+        ],
     );
     for seed in 0..4u64 {
         let cfg = TraceConfig {

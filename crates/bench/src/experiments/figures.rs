@@ -56,7 +56,9 @@ pub fn run_f2() -> Vec<Table> {
                 .join(", "),
         ]);
     }
-    segs.note("paper draws ⟨C⟩⟨H⟩⟨G,F,E⟩⟨B⟩⟨A⟩; single-parent chains fuse here (skip-safe, smaller γ)");
+    segs.note(
+        "paper draws ⟨C⟩⟨H⟩⟨G,F,E⟩⟨B⟩⟨A⟩; single-parent chains fuse here (skip-safe, smaller γ)",
+    );
 
     let (merged, report) = fig.sync_theta9_into_theta7();
     let mut example = Table::new(

@@ -11,6 +11,7 @@ pub mod e4;
 pub mod e5;
 pub mod e6;
 pub mod e7;
+pub mod e8;
 pub mod figures;
 pub mod t1;
 pub mod t2;
@@ -19,7 +20,7 @@ use crate::table::Table;
 
 /// All experiment ids, in document order.
 pub const ALL: &[&str] = &[
-    "t1", "t2", "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2",
+    "t1", "t2", "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "a1", "a2",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -41,6 +42,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e5" => e5::run(),
         "e6" => e6::run(),
         "e7" => e7::run(),
+        "e8" => e8::run(),
         "a1" => ablation::run_a1(),
         "a2" => ablation::run_a2(),
         other => panic!("unknown experiment id {other:?} (known: {ALL:?})"),

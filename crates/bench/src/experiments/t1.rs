@@ -46,14 +46,7 @@ pub fn run() -> Vec<Table> {
                 cluster
                     .site(optrep_core::SiteId::new(i))
                     .replica(object)
-                    .map(|r| {
-                        r.meta
-                            .values()
-                            .iter()
-                            .map(|(_, v)| v)
-                            .max()
-                            .unwrap_or(0)
-                    })
+                    .map(|r| r.meta.values().iter().map(|(_, v)| v).max().unwrap_or(0))
             })
             .max()
             .unwrap_or(0);

@@ -57,6 +57,79 @@ impl Table {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnotes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Serializes the table as a JSON object
+    /// (`{"title", "headers", "rows", "notes"}`), for machine-readable
+    /// benchmark tracking across revisions.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"title\":");
+        json_string(&mut out, &self.title);
+        out.push_str(",\"headers\":");
+        json_array(&mut out, &self.headers);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_array(&mut out, row);
+        }
+        out.push_str("],\"notes\":");
+        json_array(&mut out, &self.notes);
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(out, item);
+    }
+    out.push(']');
 }
 
 impl fmt::Display for Table {
@@ -135,5 +208,21 @@ mod tests {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(ratio(4.0, 2.0), "2.00×");
         assert_eq!(ratio(1.0, 0.0), "—");
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let mut t = Table::new("bench \"quoted\"", &["a", "b"]);
+        t.row(["1", "x\\y"]).note("line\nbreak");
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"bench \\\"quoted\\\"\",\"headers\":[\"a\",\"b\"],\
+             \"rows\":[[\"1\",\"x\\\\y\"]],\"notes\":[\"line\\nbreak\"]}"
+        );
+        assert_eq!(t.title(), "bench \"quoted\"");
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.notes().len(), 1);
     }
 }

@@ -87,10 +87,7 @@ impl CompareExchange {
     }
 
     /// Builds B's reply, evaluating B's half of Algorithm 1.
-    pub fn reply<V: crate::rotating::RotatingVector>(
-        b: &V,
-        req: &CompareRequest,
-    ) -> CompareReply {
+    pub fn reply<V: crate::rotating::RotatingVector>(b: &V, req: &CompareRequest) -> CompareReply {
         let (a_known_to_b, a_first_equal) = match req.first {
             None => (true, b.is_empty()),
             Some((la, ua)) => (ua <= b.value(la), ua == b.value(la)),
@@ -103,10 +100,7 @@ impl CompareExchange {
     }
 
     /// A's final verdict from B's reply — Algorithm 1 reassembled.
-    pub fn verdict<V: crate::rotating::RotatingVector>(
-        a: &V,
-        reply: &CompareReply,
-    ) -> Causality {
+    pub fn verdict<V: crate::rotating::RotatingVector>(a: &V, reply: &CompareReply) -> Causality {
         let (b_known_to_a, b_first_equal) = match reply.first {
             None => (true, a.is_empty()),
             Some((lb, ub)) => (ub <= a.value(lb), ub == a.value(lb)),

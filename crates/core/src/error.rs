@@ -63,6 +63,9 @@ pub enum WireError {
     VarintOverflow,
     /// An unknown message tag was encountered.
     UnknownTag(u8),
+    /// A message or payload body decoded structurally but its contents
+    /// are invalid (e.g. malformed UTF-8 in a token payload).
+    InvalidPayload,
 }
 
 impl fmt::Display for Error {
@@ -104,6 +107,7 @@ impl fmt::Display for WireError {
             WireError::UnexpectedEof => write!(f, "unexpected end of input"),
             WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#x}"),
+            WireError::InvalidPayload => write!(f, "malformed payload body"),
         }
     }
 }

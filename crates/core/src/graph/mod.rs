@@ -305,9 +305,7 @@ impl CausalGraph {
 
     /// `true` iff every node of `other` (and its arcs) is present here.
     pub fn contains_graph(&self, other: &CausalGraph) -> bool {
-        other
-            .iter()
-            .all(|(id, p)| self.parents(id) == Some(p))
+        other.iter().all(|(id, p)| self.parents(id) == Some(p))
     }
 
     /// Serializes the graph (nodes, arcs and head) into a compact snapshot

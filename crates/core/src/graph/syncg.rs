@@ -126,9 +126,7 @@ impl WireMsg for GraphMsg {
                 parents,
                 payload,
             } => {
-                wire::varint_len(id.raw())
-                    + parents.encoded_len()
-                    + wire::bytes_len(payload.len())
+                wire::varint_len(id.raw()) + parents.encoded_len() + wire::bytes_len(payload.len())
             }
             GraphMsg::SkipTo { id } => wire::varint_len(id.raw()),
             GraphMsg::SkipToEnd | GraphMsg::Halt => 0,
@@ -528,7 +526,10 @@ mod tests {
         let report = sync_graph(&mut a, &b).unwrap();
         assert_eq!(a.len(), 6, "unchanged");
         assert_eq!(report.nodes_added, 0);
-        assert_eq!(report.nodes_sent, 1, "only the sink crosses before SkipToEnd");
+        assert_eq!(
+            report.nodes_sent, 1,
+            "only the sink crosses before SkipToEnd"
+        );
         assert_eq!(report.skiptos, 1);
     }
 

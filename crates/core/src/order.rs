@@ -542,8 +542,14 @@ mod tests {
         core.set_segment_bit(s(0));
         // Rotating A to the front must carry the bit to B.
         core.record_update(s(0));
-        assert!(!core.get(s(0)).unwrap().segment, "moved element bit cleared");
-        assert!(core.get(s(1)).unwrap().segment, "bit carried to predecessor");
+        assert!(
+            !core.get(s(0)).unwrap().segment,
+            "moved element bit cleared"
+        );
+        assert!(
+            core.get(s(1)).unwrap().segment,
+            "bit carried to predecessor"
+        );
         assert!(!core.get(s(2)).unwrap().segment);
     }
 

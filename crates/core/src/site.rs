@@ -44,9 +44,7 @@ impl SiteId {
         let bytes = s.as_bytes();
         match bytes {
             [c @ b'A'..=b'Z'] => Some(SiteId((c - b'A') as u32)),
-            [b'S', rest @ ..] if !rest.is_empty() => {
-                s[1..].parse::<u32>().ok().map(SiteId)
-            }
+            [b'S', rest @ ..] if !rest.is_empty() => s[1..].parse::<u32>().ok().map(SiteId),
             _ => None,
         }
     }

@@ -26,8 +26,8 @@ use crate::error::{Error, Result};
 use crate::rotating::{Brv, Crv, RotatingVector, Srv};
 use crate::sync::sender::VectorSender;
 use crate::sync::{
-    Endpoint, FlowControl, FullReceiver, FullSender, ProtocolMsg, ReceiverStats,
-    SyncBReceiver, SyncCReceiver, SyncSReceiver,
+    Endpoint, FlowControl, FullReceiver, FullSender, ProtocolMsg, ReceiverStats, SyncBReceiver,
+    SyncCReceiver, SyncSReceiver,
 };
 use crate::vv::VersionVector;
 use std::collections::VecDeque;

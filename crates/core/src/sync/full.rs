@@ -171,6 +171,11 @@ mod tests {
     #[test]
     fn receiver_rejects_element_messages() {
         let mut rx = FullReceiver::new(VersionVector::new());
-        assert!(rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).is_err());
+        assert!(rx
+            .on_receive(Msg::ElemB {
+                site: s(0),
+                value: 1
+            })
+            .is_err());
     }
 }

@@ -309,9 +309,7 @@ impl WireMsg for Msg {
                 segment,
             } => {
                 head_len(TAG_ELEM_S, u64::from(site.index()))
-                    + wire::varint_len(
-                        value << 2 | u64::from(*conflict) << 1 | u64::from(*segment),
-                    )
+                    + wire::varint_len(value << 2 | u64::from(*conflict) << 1 | u64::from(*segment))
             }
             Msg::Halt => head_len(TAG_HALT, 0),
             Msg::Continue => head_len(TAG_CONTINUE, 0),
@@ -321,12 +319,81 @@ impl WireMsg for Msg {
                 head_len(TAG_FULL_VECTOR, pairs.len() as u64)
                     + pairs
                         .iter()
-                        .map(|(s, v)| {
-                            wire::varint_len(u64::from(s.index())) + wire::varint_len(*v)
-                        })
+                        .map(|(s, v)| wire::varint_len(u64::from(s.index())) + wire::varint_len(*v))
                         .sum::<usize>()
             }
         }
+    }
+}
+
+/// A message tagged with the multiplexed stream it belongs to.
+///
+/// `Framed<M>` is the typed face of the connection frame layer: its wire
+/// format is exactly one [`wire::Frame`] — stream varint, payload length
+/// varint, then the encoded inner message — so a byte-stream transport can
+/// reassemble frames with [`wire::FrameDecoder`] and decode the payload
+/// with `M::decode`, while message-oriented transports ([`SimLink`],
+/// [`run_pair`]) carry `Framed<M>` values directly. Any [`WireMsg`] can be
+/// multiplexed this way; flow accounting delegates to the inner message.
+///
+/// [`SimLink`]: https://docs.rs/optrep-net
+/// [`run_pair`]: https://docs.rs/optrep-net
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Framed<M> {
+    /// Stream identifier (`0` = connection control stream).
+    pub stream: u64,
+    /// The multiplexed message.
+    pub msg: M,
+}
+
+impl<M> Framed<M> {
+    /// Tags `msg` with `stream`.
+    pub fn new(stream: u64, msg: M) -> Self {
+        Framed { stream, msg }
+    }
+
+    /// Bytes of framing overhead (stream id + length prefix) this frame
+    /// adds on top of the inner message's own encoding.
+    pub fn header_len(&self) -> usize
+    where
+        M: WireMsg,
+    {
+        wire::varint_len(self.stream) + wire::varint_len(self.msg.encoded_len() as u64)
+    }
+}
+
+impl<M: WireMsg> WireMsg for Framed<M> {
+    fn encode(&self, buf: &mut BytesMut) {
+        wire::put_varint(buf, self.stream);
+        wire::put_varint(buf, self.msg.encoded_len() as u64);
+        self.msg.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> std::result::Result<Self, WireError> {
+        let frame = wire::get_frame(buf)?;
+        let mut payload = frame.payload;
+        let msg = M::decode(&mut payload)?;
+        if !payload.is_empty() {
+            // A frame is exactly one message; trailing bytes mean the
+            // sender and receiver disagree about the inner format.
+            return Err(WireError::UnexpectedEof);
+        }
+        Ok(Framed::new(frame.stream, msg))
+    }
+
+    fn encoded_len(&self) -> usize {
+        let inner = self.msg.encoded_len();
+        wire::varint_len(self.stream) + wire::bytes_len(inner)
+    }
+}
+
+impl<M: ProtocolMsg> ProtocolMsg for Framed<M> {
+    fn is_payload(&self) -> bool {
+        self.msg.is_payload()
+    }
+
+    fn is_nak(&self) -> bool {
+        self.msg.is_nak()
     }
 }
 
@@ -438,6 +505,54 @@ mod tests {
         roundtrip(Msg::FullVector {
             pairs: vec![(SiteId::new(0), 1), (SiteId::new(9999), u32::MAX as u64)],
         });
+    }
+
+    #[test]
+    fn framed_roundtrip_matches_raw_frame() {
+        let msg = Msg::ElemS {
+            site: SiteId::new(300),
+            value: 42,
+            conflict: false,
+            segment: true,
+        };
+        let framed = Framed::new(9, msg.clone());
+        let bytes = framed.to_bytes();
+        assert_eq!(bytes.len(), framed.encoded_len());
+        assert_eq!(framed.header_len(), bytes.len() - msg.encoded_len());
+
+        // The typed encoding is byte-identical to a raw wire::Frame.
+        let mut raw = BytesMut::new();
+        wire::put_frame(&mut raw, 9, &msg.to_bytes());
+        assert_eq!(bytes, raw.freeze());
+
+        let mut buf = bytes;
+        let decoded = Framed::<Msg>::decode(&mut buf).unwrap();
+        assert_eq!(decoded, framed);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn framed_rejects_trailing_bytes_in_frame() {
+        let mut raw = BytesMut::new();
+        let mut payload = Msg::Halt.to_bytes().to_vec();
+        payload.push(0xaa); // junk after the message
+        wire::put_frame(&mut raw, 1, &payload);
+        let mut buf = raw.freeze();
+        assert!(Framed::<Msg>::decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn framed_delegates_flow_classification() {
+        let elem = Framed::new(
+            2,
+            Msg::ElemB {
+                site: SiteId::new(1),
+                value: 1,
+            },
+        );
+        assert!(elem.is_payload() && !elem.is_nak());
+        let halt = Framed::new(2, Msg::Halt);
+        assert!(!halt.is_payload() && halt.is_nak());
     }
 
     #[test]

@@ -174,11 +174,7 @@ impl<V: SyncVector> VectorSender<V> {
             self.outbox.push_back(Msg::Halt);
             self.done = true;
         }
-        self.cursor = self
-            .vec
-            .as_core()
-            .next_in_order(site)
-            .map(|next| next.site);
+        self.cursor = self.vec.as_core().next_in_order(site).map(|next| next.site);
     }
 }
 
@@ -249,8 +245,8 @@ impl<V: SyncVector> Endpoint for VectorSender<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rotating::elem;
     use crate::order::Element;
+    use crate::rotating::elem;
 
     fn s(i: u32) -> SiteId {
         SiteId::new(i)
@@ -278,9 +274,18 @@ mod tests {
         assert_eq!(
             drain(&mut sender),
             vec![
-                Msg::ElemB { site: s(2), value: 3 },
-                Msg::ElemB { site: s(0), value: 2 },
-                Msg::ElemB { site: s(1), value: 1 },
+                Msg::ElemB {
+                    site: s(2),
+                    value: 3
+                },
+                Msg::ElemB {
+                    site: s(0),
+                    value: 2
+                },
+                Msg::ElemB {
+                    site: s(1),
+                    value: 1
+                },
                 Msg::Halt,
             ]
         );
@@ -316,9 +321,19 @@ mod tests {
         // Segments: [A:2, B:2 |][C:1, D:1 |][E:1]
         let v = Srv::from_order([
             elem(s(0), 2),
-            Element { site: s(1), value: 2, conflict: false, segment: true },
+            Element {
+                site: s(1),
+                value: 2,
+                conflict: false,
+                segment: true,
+            },
             elem(s(2), 1),
-            Element { site: s(3), value: 1, conflict: false, segment: true },
+            Element {
+                site: s(3),
+                value: 1,
+                conflict: false,
+                segment: true,
+            },
             elem(s(4), 1),
         ]);
         let mut sender = VectorSender::new(v);
@@ -340,16 +355,26 @@ mod tests {
     #[test]
     fn stale_skip_is_ignored() {
         let v = Srv::from_order([
-            Element { site: s(0), value: 1, conflict: false, segment: true },
+            Element {
+                site: s(0),
+                value: 1,
+                conflict: false,
+                segment: true,
+            },
             elem(s(1), 1),
         ]);
         let mut sender = VectorSender::new(v);
         // Stream everything first: sender has passed segment 0 entirely.
         let all = drain(&mut sender);
         assert_eq!(all.len(), 3); // two elements + Halt
-        // A late skip for segment 0 must not error or change anything.
+                                  // A late skip for segment 0 must not error or change anything.
         let mut sender2 = VectorSender::new(Srv::from_order([
-            Element { site: s(0), value: 1, conflict: false, segment: true },
+            Element {
+                site: s(0),
+                value: 1,
+                conflict: false,
+                segment: true,
+            },
             elem(s(1), 1),
         ]));
         let _ = sender2.poll_send().unwrap(); // A:1 (boundary passed, segs=1)
@@ -384,7 +409,12 @@ mod tests {
     fn skip_of_final_open_segment_emits_marker_before_halt() {
         // One closed segment then an open tail.
         let v = Srv::from_order([
-            Element { site: s(0), value: 1, conflict: false, segment: true },
+            Element {
+                site: s(0),
+                value: 1,
+                conflict: false,
+                segment: true,
+            },
             elem(s(1), 1),
             elem(s(2), 1),
         ]);

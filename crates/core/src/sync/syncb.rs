@@ -137,7 +137,11 @@ mod tests {
         // a = ⟨B:1, A:1⟩ already dominates b = ⟨A:1⟩.
         let a = Brv::from_order([elem(s(1), 1), elem(s(0), 1)]);
         let mut rx = SyncBReceiver::new(a.clone(), Causality::After).unwrap();
-        rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).unwrap();
+        rx.on_receive(Msg::ElemB {
+            site: s(0),
+            value: 1,
+        })
+        .unwrap();
         assert_eq!(rx.poll_send(), Some(Msg::Halt));
         assert!(rx.is_done());
         let (out, stats) = rx.finish();
@@ -151,9 +155,21 @@ mod tests {
         // a = ⟨A:1⟩, b = ⟨C:1, B:1, A:1⟩ (a ≺ b).
         let a = Brv::from_order([elem(s(0), 1)]);
         let mut rx = SyncBReceiver::new(a, Causality::Before).unwrap();
-        rx.on_receive(Msg::ElemB { site: s(2), value: 1 }).unwrap();
-        rx.on_receive(Msg::ElemB { site: s(1), value: 1 }).unwrap();
-        rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).unwrap();
+        rx.on_receive(Msg::ElemB {
+            site: s(2),
+            value: 1,
+        })
+        .unwrap();
+        rx.on_receive(Msg::ElemB {
+            site: s(1),
+            value: 1,
+        })
+        .unwrap();
+        rx.on_receive(Msg::ElemB {
+            site: s(0),
+            value: 1,
+        })
+        .unwrap();
         assert_eq!(rx.poll_send(), Some(Msg::Halt));
         let (out, stats) = rx.finish();
         let expected = Brv::from_order([elem(s(2), 1), elem(s(1), 1), elem(s(0), 1)]);
@@ -165,10 +181,18 @@ mod tests {
     fn ignores_messages_after_halting() {
         let a = Brv::from_order([elem(s(0), 5)]);
         let mut rx = SyncBReceiver::new(a, Causality::After).unwrap();
-        rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).unwrap();
+        rx.on_receive(Msg::ElemB {
+            site: s(0),
+            value: 1,
+        })
+        .unwrap();
         assert!(rx.poll_send().is_some());
         // Pipelined sender had more in flight.
-        rx.on_receive(Msg::ElemB { site: s(9), value: 9 }).unwrap();
+        rx.on_receive(Msg::ElemB {
+            site: s(9),
+            value: 9,
+        })
+        .unwrap();
         let (out, _) = rx.finish();
         assert_eq!(out.value(s(9)), 0, "in-flight element discarded");
     }
@@ -192,7 +216,11 @@ mod tests {
         let a = Brv::new();
         let mut rx =
             SyncBReceiver::with_flow(a, Causality::Before, FlowControl::StopAndWait).unwrap();
-        rx.on_receive(Msg::ElemB { site: s(1), value: 2 }).unwrap();
+        rx.on_receive(Msg::ElemB {
+            site: s(1),
+            value: 2,
+        })
+        .unwrap();
         assert_eq!(rx.poll_send(), Some(Msg::Continue));
         rx.on_receive(Msg::Halt).unwrap();
         assert!(rx.is_done());

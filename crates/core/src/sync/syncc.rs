@@ -144,10 +144,18 @@ mod tests {
         let t1 = Crv::from_order([elem(s(0), 2), elem(s(1), 1)]);
         let mut rx = SyncCReceiver::new(t1, Causality::Concurrent);
         // θ2's elements arrive in order.
-        rx.on_receive(Msg::ElemC { site: s(1), value: 2, conflict: false })
-            .unwrap();
-        rx.on_receive(Msg::ElemC { site: s(0), value: 1, conflict: false })
-            .unwrap();
+        rx.on_receive(Msg::ElemC {
+            site: s(1),
+            value: 2,
+            conflict: false,
+        })
+        .unwrap();
+        rx.on_receive(Msg::ElemC {
+            site: s(0),
+            value: 1,
+            conflict: false,
+        })
+        .unwrap();
         // A:1 ≤ A:2 with a clear bit → HALT.
         assert_eq!(rx.poll_send(), Some(Msg::Halt));
         let (t3, stats) = rx.finish();
@@ -166,10 +174,18 @@ mod tests {
         let t1 = Crv::from_order([celem(0, 2, false), celem(1, 1, false)]);
         // relation: θ1 ≺ θ3.
         let mut rx = SyncCReceiver::new(t1, Causality::Before);
-        rx.on_receive(Msg::ElemC { site: s(1), value: 2, conflict: true })
-            .unwrap();
-        rx.on_receive(Msg::ElemC { site: s(0), value: 2, conflict: false })
-            .unwrap();
+        rx.on_receive(Msg::ElemC {
+            site: s(1),
+            value: 2,
+            conflict: true,
+        })
+        .unwrap();
+        rx.on_receive(Msg::ElemC {
+            site: s(0),
+            value: 2,
+            conflict: false,
+        })
+        .unwrap();
         rx.on_receive(Msg::Halt).unwrap();
         let (out, stats) = rx.finish();
         assert_eq!(out.value(s(0)), 2);
@@ -184,10 +200,18 @@ mod tests {
         // cause subsequent modifications to be tagged.
         let a = Crv::from_order([celem(0, 2, true), celem(1, 1, false)]);
         let mut rx = SyncCReceiver::new(a, Causality::Before);
-        rx.on_receive(Msg::ElemC { site: s(0), value: 2, conflict: true })
-            .unwrap();
-        rx.on_receive(Msg::ElemC { site: s(2), value: 1, conflict: false })
-            .unwrap();
+        rx.on_receive(Msg::ElemC {
+            site: s(0),
+            value: 2,
+            conflict: true,
+        })
+        .unwrap();
+        rx.on_receive(Msg::ElemC {
+            site: s(2),
+            value: 1,
+            conflict: false,
+        })
+        .unwrap();
         rx.on_receive(Msg::Halt).unwrap();
         let (out, _) = rx.finish();
         assert!(
@@ -200,10 +224,18 @@ mod tests {
     fn clean_fast_forward_keeps_bits_clear() {
         let a = Crv::from_order([elem(s(0), 1)]);
         let mut rx = SyncCReceiver::new(a, Causality::Before);
-        rx.on_receive(Msg::ElemC { site: s(1), value: 1, conflict: false })
-            .unwrap();
-        rx.on_receive(Msg::ElemC { site: s(0), value: 1, conflict: false })
-            .unwrap();
+        rx.on_receive(Msg::ElemC {
+            site: s(1),
+            value: 1,
+            conflict: false,
+        })
+        .unwrap();
+        rx.on_receive(Msg::ElemC {
+            site: s(0),
+            value: 1,
+            conflict: false,
+        })
+        .unwrap();
         let (out, _) = rx.finish();
         assert!(out.iter().all(|e| !e.conflict));
     }
@@ -211,7 +243,12 @@ mod tests {
     #[test]
     fn rejects_foreign_message_kinds() {
         let mut rx = SyncCReceiver::new(Crv::new(), Causality::Equal);
-        assert!(rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).is_err());
+        assert!(rx
+            .on_receive(Msg::ElemB {
+                site: s(0),
+                value: 1
+            })
+            .is_err());
         assert!(rx.on_receive(Msg::SegSkipped { seg: 0 }).is_err());
     }
 }

@@ -46,7 +46,7 @@
 
 use crate::causality::Causality;
 use crate::error::{Error, Result};
-use crate::rotating::{Srv, RotatingVector};
+use crate::rotating::{RotatingVector, Srv};
 use crate::site::SiteId;
 use crate::sync::{unexpected, Endpoint, FlowControl, Msg, ReceiverStats};
 use std::collections::VecDeque;
@@ -381,8 +381,8 @@ mod tests {
         v5.record_update(s5); // Parker §C → v5 = ⟨5:2, 7̄:1∣⟩
         sync_srv(&mut v0, &v5).unwrap(); // concurrent
         v0.record_update(s0); // v0 = ⟨0:1, 5̄:2, 7̄:1∣, 4:1⟩
-        // The critical sync: relation is Before (v7 ≺ v0), but the stream
-        // jumps the tagged known 7̄ between 5̄ and 4.
+                              // The critical sync: relation is Before (v7 ≺ v0), but the stream
+                              // jumps the tagged known 7̄ between 5̄ and 4.
         sync_srv(&mut v7, &v0).unwrap();
         // v7 must carry a boundary between 5̄ and 4̄ now.
         let segs = v7.segments();
@@ -412,11 +412,14 @@ mod tests {
     #[test]
     fn rejects_foreign_message_kinds() {
         let mut rx = SyncSReceiver::new(Srv::new(), Causality::Equal);
-        assert!(rx.on_receive(Msg::ElemB { site: s(0), value: 1 }).is_err());
-        assert!(rx.on_receive(Msg::Skip { seg: 0 }).is_err());
         assert!(rx
-            .on_receive(Msg::FullVector { pairs: vec![] })
+            .on_receive(Msg::ElemB {
+                site: s(0),
+                value: 1
+            })
             .is_err());
+        assert!(rx.on_receive(Msg::Skip { seg: 0 }).is_err());
+        assert!(rx.on_receive(Msg::FullVector { pairs: vec![] }).is_err());
     }
 
     #[test]
@@ -426,8 +429,7 @@ mod tests {
             selem(2, 1, false, true),
             selem(0, 1, false, false),
         ]);
-        let mut rx =
-            SyncSReceiver::with_flow(a, Causality::Concurrent, FlowControl::StopAndWait);
+        let mut rx = SyncSReceiver::with_flow(a, Causality::Concurrent, FlowControl::StopAndWait);
         deliver(&mut rx, selem(1, 1, true, false));
         assert_eq!(rx.poll_send(), Some(Msg::Skip { seg: 0 }));
         // In-flight element while skipping still gets an ack.

@@ -203,7 +203,10 @@ mod tests {
 
     #[test]
     fn empty_vectors_are_equal() {
-        assert_eq!(VersionVector::new().compare(&VersionVector::new()), Causality::Equal);
+        assert_eq!(
+            VersionVector::new().compare(&VersionVector::new()),
+            Causality::Equal
+        );
     }
 
     #[test]
@@ -246,7 +249,10 @@ mod tests {
         let b = VersionVector::from_pairs([(s(0), 2), (s(1), 4), (s(2), 1)]);
         let changed = a.merge(&b);
         assert_eq!(changed, 2); // B and C advanced
-        assert_eq!(a, VersionVector::from_pairs([(s(0), 5), (s(1), 4), (s(2), 1)]));
+        assert_eq!(
+            a,
+            VersionVector::from_pairs([(s(0), 5), (s(1), 4), (s(2), 1)])
+        );
     }
 
     #[test]

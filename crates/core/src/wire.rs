@@ -38,7 +38,7 @@ pub fn put_varint(buf: &mut BytesMut, mut value: u64) {
 ///
 /// Returns [`WireError::UnexpectedEof`] if the buffer ends mid-varint and
 /// [`WireError::VarintOverflow`] if the encoding exceeds
-/// [`MAX_VARINT_LEN`] bytes.
+/// [`MAX_VARINT_LEN`] bytes or carries bits above the `u64` range.
 pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
     let mut value = 0u64;
     let mut shift = 0u32;
@@ -47,7 +47,13 @@ pub fn get_varint(buf: &mut Bytes) -> Result<u64, WireError> {
             return Err(WireError::UnexpectedEof);
         }
         let byte = buf.get_u8();
-        value |= u64::from(byte & 0x7f) << shift;
+        let group = u64::from(byte & 0x7f);
+        // The tenth byte sits at shift 63 and may only contribute bit 63;
+        // anything higher would be silently shifted out of the u64.
+        if group.leading_zeros() < shift {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= group << shift;
         if byte & 0x80 == 0 {
             return Ok(value);
         }
@@ -98,6 +104,124 @@ pub const fn bytes_len(len: usize) -> usize {
     varint_len(len as u64) + len
 }
 
+/// One frame on a multiplexed connection: a stream identifier plus an
+/// opaque, length-prefixed payload.
+///
+/// The frame layer is what lets a single connection carry the
+/// synchronization of an arbitrary set of objects as interleaved streams:
+/// each object's session is a stream, and frames from different streams may
+/// interleave freely on the byte stream. Stream `0` is reserved by
+/// convention for connection-level control traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Stream the payload belongs to (`0` = control stream).
+    pub stream: u64,
+    /// Opaque payload bytes (typically one encoded protocol message).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Encoded size of a frame header plus `payload_len` payload bytes.
+    pub const fn encoded_len(stream: u64, payload_len: usize) -> usize {
+        varint_len(stream) + bytes_len(payload_len)
+    }
+
+    /// Bytes of framing overhead (header) for this frame.
+    pub fn header_len(&self) -> usize {
+        varint_len(self.stream) + varint_len(self.payload.len() as u64)
+    }
+}
+
+/// Appends a frame (`stream` varint, payload length varint, payload bytes).
+pub fn put_frame(buf: &mut BytesMut, stream: u64, payload: &[u8]) {
+    put_varint(buf, stream);
+    put_bytes(buf, payload);
+}
+
+/// Decodes one complete frame from the front of `buf`.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnexpectedEof`] if the buffer holds less than one
+/// whole frame; use [`FrameDecoder`] to reassemble frames from partial
+/// reads on a byte stream.
+pub fn get_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
+    let stream = get_varint(buf)?;
+    let payload = get_bytes(buf)?;
+    Ok(Frame { stream, payload })
+}
+
+/// Incremental frame reassembler for byte-stream transports.
+///
+/// Feed arbitrarily chopped chunks with [`push`](Self::push) and drain
+/// complete frames with [`next_frame`](Self::next_frame). Partial input —
+/// down to one byte at a time — is buffered until a whole frame is
+/// available; a genuinely malformed header (varint overflow) is still
+/// reported as an error rather than being mistaken for a short read.
+///
+/// ```
+/// use optrep_core::wire::FrameDecoder;
+/// let mut dec = FrameDecoder::new();
+/// dec.push(&[0x07, 0x02, b'h']); // stream 7, 2-byte payload, first byte
+/// assert!(dec.next_frame().unwrap().is_none()); // incomplete
+/// dec.push(&[b'i']);
+/// let frame = dec.next_frame().unwrap().unwrap();
+/// assert_eq!(frame.stream, 7);
+/// assert_eq!(&frame.payload[..], b"hi");
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete frame, if one is buffered.
+    ///
+    /// Returns `Ok(None)` when more input is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::VarintOverflow`] if a buffered header varint is
+    /// malformed — that can never become valid with more input.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        // Parse the header from a cheap clone; only commit (split off) once
+        // the whole frame is known to be present.
+        let mut probe = Bytes::from(self.buf[..].to_vec());
+        let stream = match get_varint(&mut probe) {
+            Ok(v) => v,
+            Err(WireError::UnexpectedEof) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let payload_len = match get_varint(&mut probe) {
+            Ok(v) => v as usize,
+            Err(WireError::UnexpectedEof) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if probe.remaining() < payload_len {
+            return Ok(None);
+        }
+        let header_len = self.buf.len() - probe.remaining();
+        let _ = self.buf.split_to(header_len);
+        let payload = self.buf.split_to(payload_len).freeze();
+        Ok(Some(Frame { stream, payload }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +261,27 @@ mod tests {
     }
 
     #[test]
+    fn varint_high_bits_rejected_not_truncated() {
+        // Ten-byte varint whose final byte carries bits above the u64
+        // range. The old decoder silently shifted them out and returned a
+        // truncated value; it must be an overflow error instead.
+        let mut encoded = [0xffu8; 10];
+        encoded[9] = 0x7f;
+        let mut bytes = Bytes::from(encoded.to_vec());
+        assert_eq!(get_varint(&mut bytes), Err(WireError::VarintOverflow));
+
+        // Even a single excess bit (bit 64) must be rejected.
+        encoded[9] = 0x02;
+        let mut bytes = Bytes::from(encoded.to_vec());
+        assert_eq!(get_varint(&mut bytes), Err(WireError::VarintOverflow));
+
+        // The canonical u64::MAX encoding still decodes.
+        encoded[9] = 0x01;
+        let mut bytes = Bytes::from(encoded.to_vec());
+        assert_eq!(get_varint(&mut bytes), Ok(u64::MAX));
+    }
+
+    #[test]
     fn byte_string_roundtrip() {
         let mut buf = BytesMut::new();
         put_bytes(&mut buf, b"hello");
@@ -160,5 +305,54 @@ mod tests {
         put_bytes(&mut buf, b"");
         let mut bytes = buf.freeze();
         assert_eq!(get_bytes(&mut bytes).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, 0, b"ctrl");
+        put_frame(&mut buf, 300, b"");
+        put_frame(&mut buf, 7, b"payload");
+        let mut bytes = buf.freeze();
+        let f0 = get_frame(&mut bytes).unwrap();
+        assert_eq!((f0.stream, &f0.payload[..]), (0, &b"ctrl"[..]));
+        let f1 = get_frame(&mut bytes).unwrap();
+        assert_eq!((f1.stream, f1.payload.len()), (300, 0));
+        let f2 = get_frame(&mut bytes).unwrap();
+        assert_eq!((f2.stream, &f2.payload[..]), (7, &b"payload"[..]));
+        assert!(bytes.is_empty());
+        assert_eq!(Frame::encoded_len(300, 0), 3);
+        assert_eq!(f2.header_len(), 2);
+    }
+
+    #[test]
+    fn frame_decoder_handles_single_byte_reads() {
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, 1, b"abc");
+        put_frame(&mut buf, 0, b"");
+        let encoded = buf.freeze();
+
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &b in encoded.iter() {
+            dec.push(&[b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].stream, 1);
+        assert_eq!(&frames[0].payload[..], b"abc");
+        assert_eq!(frames[1].stream, 0);
+        assert!(frames[1].payload.is_empty());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_reports_malformed_header() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&[0xff; 10]); // stream varint with bits beyond u64
+        dec.push(&[0x7f]);
+        assert_eq!(dec.next_frame(), Err(WireError::VarintOverflow));
     }
 }

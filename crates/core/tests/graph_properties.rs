@@ -17,10 +17,7 @@ enum Step {
 }
 
 fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-    let step = prop_oneof![
-        (0u8..2).prop_map(Step::Op),
-        (0u8..2).prop_map(Step::Pull),
-    ];
+    let step = prop_oneof![(0u8..2).prop_map(Step::Op), (0u8..2).prop_map(Step::Pull),];
     proptest::collection::vec(step, 1..40)
 }
 
@@ -74,8 +71,7 @@ fn grow(steps: &[Step]) -> (CausalGraph, CausalGraph) {
                     }
                     Causality::Concurrent => {
                         let id = dst.next_id();
-                        dst.graph
-                            .record_merge(id, src_graph.head().expect("head"));
+                        dst.graph.record_merge(id, src_graph.head().expect("head"));
                     }
                     _ => {}
                 }

@@ -22,12 +22,11 @@ fn arb_value() -> impl Strategy<Value = u64> {
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
         (arb_site(), arb_value()).prop_map(|(site, value)| Msg::ElemB { site, value }),
-        (arb_site(), arb_value(), any::<bool>())
-            .prop_map(|(site, value, conflict)| Msg::ElemC {
-                site,
-                value,
-                conflict
-            }),
+        (arb_site(), arb_value(), any::<bool>()).prop_map(|(site, value, conflict)| Msg::ElemC {
+            site,
+            value,
+            conflict
+        }),
         (arb_site(), arb_value(), any::<bool>(), any::<bool>()).prop_map(
             |(site, value, conflict, segment)| Msg::ElemS {
                 site,

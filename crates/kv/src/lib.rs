@@ -34,9 +34,9 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use optrep_core::error::WireError;
-use optrep_core::sync::drive::{sync_srv_opts, SyncReport};
 use optrep_core::sync::SyncOptions;
 use optrep_core::{wire, Causality, Result, RotatingVector, SiteId, Srv};
+use optrep_replication::mux::{run_contact, BatchPullClient, BatchPullServer};
 use std::collections::BTreeMap;
 
 /// The stored state of one key: `None` is a tombstone (deleted).
@@ -154,9 +154,7 @@ impl KvStore {
 
     /// Reads a key. Tombstoned and absent keys both read as `None`.
     pub fn get(&self, key: &str) -> Option<&[u8]> {
-        self.entries
-            .get(key)
-            .and_then(|e| e.value.as_deref())
+        self.entries.get(key).and_then(|e| e.value.as_deref())
     }
 
     /// The key's metadata, if the key (or its tombstone) exists.
@@ -195,16 +193,19 @@ impl KvStore {
         }
     }
 
-    /// Anti-entropy pull: brings every key of `other` into this store,
-    /// running a per-key `SYNCS` and shipping values only when they
-    /// changed. Concurrent writes are resolved with `resolver`, followed
-    /// by the Parker §C increment so the resolved version dominates both
-    /// parents.
+    /// Anti-entropy pull: brings every key of `other` into this store over
+    /// **one** multiplexed connection ([`optrep_replication::mux`]). Each
+    /// key's session is a stream: all O(1) comparisons travel in a single
+    /// batched frame (one round trip amortized over every key), clean keys
+    /// coalesce their `Done`s, dirty keys run the per-stream `SYNCS` and
+    /// ship their value, and keys this store has never seen are discovered
+    /// and created. Concurrent writes are resolved with `resolver`,
+    /// followed by the Parker §C increment so the resolved version
+    /// dominates both parents.
     ///
     /// # Errors
     ///
-    /// Propagates protocol errors; the store is left with all keys synced
-    /// up to the failing one.
+    /// Propagates protocol errors; on error no key is modified.
     pub fn sync_from<R: Resolver>(
         &mut self,
         other: &KvStore,
@@ -214,6 +215,8 @@ impl KvStore {
     }
 
     /// Like [`sync_from`](Self::sync_from) with explicit transfer options.
+    /// The contact engine always pipelines (§3.1); `_opts` is kept for
+    /// signature stability and future latency-aware transports.
     ///
     /// # Errors
     ///
@@ -222,44 +225,70 @@ impl KvStore {
         &mut self,
         other: &KvStore,
         resolver: &R,
-        opts: SyncOptions,
+        _opts: SyncOptions,
     ) -> Result<KvSyncReport> {
-        let mut report = KvSyncReport::default();
-        for (key, theirs) in &other.entries {
+        let mut client = BatchPullClient::new(
+            self.entries
+                .iter()
+                .map(|(key, entry)| (Bytes::from(key.clone().into_bytes()), entry.meta.clone())),
+        );
+        let mut server = BatchPullServer::new(other.entries.iter().map(|(key, entry)| {
+            (
+                Bytes::from(key.clone().into_bytes()),
+                entry.meta.clone(),
+                encode_value(&entry.value),
+            )
+        }));
+        let contact = run_contact(&mut client, &mut server)?;
+
+        let mut report = KvSyncReport {
+            meta_bytes: (contact.compare_bytes + contact.meta_bytes) as usize,
+            value_bytes: contact.payload_bytes as usize,
+            ..KvSyncReport::default()
+        };
+        for result in client.finish() {
+            let Some(outcome) = result.outcome else {
+                // Our key, absent on the source: nothing travelled.
+                continue;
+            };
             report.keys_examined += 1;
-            match self.entries.get_mut(key) {
-                None => {
-                    // New key: the whole entry travels.
-                    report.keys_created += 1;
-                    report.meta_bytes += theirs.meta.encode_snapshot().len();
-                    report.value_bytes += value_len(&theirs.value);
-                    self.entries.insert(key.clone(), theirs.clone());
+            let key = String::from_utf8(result.name.to_vec())
+                .map_err(|_| optrep_core::Error::Wire(WireError::InvalidPayload))?;
+            if result.discovered {
+                let value = decode_value(outcome.payload.expect("discovered keys transfer"))
+                    .map_err(optrep_core::Error::Wire)?;
+                self.entries.insert(
+                    key,
+                    Entry {
+                        meta: outcome.vector,
+                        value,
+                    },
+                );
+                report.keys_created += 1;
+                continue;
+            }
+            match outcome.relation {
+                Causality::Equal | Causality::After => {
+                    report.keys_unchanged += 1;
                 }
-                Some(ours) => {
-                    let relation = ours.meta.compare(&theirs.meta);
-                    report.meta_bytes += compare_cost(&ours.meta, &theirs.meta);
-                    match relation {
-                        Causality::Equal | Causality::After => {
-                            report.keys_unchanged += 1;
-                        }
-                        Causality::Before => {
-                            let sync = sync_srv_opts(&mut ours.meta, &theirs.meta, opts)?;
-                            report.absorb_meta(&sync);
-                            ours.value = theirs.value.clone();
-                            report.value_bytes += value_len(&theirs.value);
-                            report.keys_fast_forwarded += 1;
-                        }
-                        Causality::Concurrent => {
-                            let sync = sync_srv_opts(&mut ours.meta, &theirs.meta, opts)?;
-                            report.absorb_meta(&sync);
-                            ours.value = resolver.resolve(key, &ours.value, &theirs.value);
-                            report.value_bytes += value_len(&theirs.value);
-                            // Parker §C: the resolved version must dominate
-                            // both parents.
-                            ours.meta.record_update(self.site);
-                            report.keys_reconciled += 1;
-                        }
-                    }
+                Causality::Before => {
+                    let value = decode_value(outcome.payload.expect("fast-forward ships value"))
+                        .map_err(optrep_core::Error::Wire)?;
+                    let ours = self.entries.get_mut(&key).expect("client named our key");
+                    ours.meta = outcome.vector;
+                    ours.value = value;
+                    report.keys_fast_forwarded += 1;
+                }
+                Causality::Concurrent => {
+                    let theirs = decode_value(outcome.payload.expect("reconciliation ships value"))
+                        .map_err(optrep_core::Error::Wire)?;
+                    let ours = self.entries.get_mut(&key).expect("client named our key");
+                    ours.value = resolver.resolve(&key, &ours.value, &theirs);
+                    ours.meta = outcome.vector;
+                    // Parker §C: the resolved version must dominate both
+                    // parents.
+                    ours.meta.record_update(self.site);
+                    report.keys_reconciled += 1;
                 }
             }
         }
@@ -311,8 +340,8 @@ impl KvStore {
         let mut entries = BTreeMap::new();
         for _ in 0..n {
             let key_bytes = wire::get_bytes(buf)?;
-            let key = String::from_utf8(key_bytes.to_vec())
-                .map_err(|_| WireError::UnexpectedEof)?;
+            let key =
+                String::from_utf8(key_bytes.to_vec()).map_err(|_| WireError::UnexpectedEof)?;
             let mut meta_bytes = wire::get_bytes(buf)?;
             let meta = Srv::decode_snapshot(&mut meta_bytes)?;
             if !buf.has_remaining() {
@@ -329,27 +358,29 @@ impl KvStore {
     }
 }
 
-impl KvSyncReport {
-    fn absorb_meta(&mut self, sync: &SyncReport) {
-        self.meta_bytes += sync.total_bytes();
+/// Wire form of a [`Value`]: `[0]` is a tombstone, `[1, bytes…]` a value —
+/// the same one-byte tag the snapshot format uses.
+fn encode_value(value: &Value) -> Bytes {
+    match value {
+        Some(v) => {
+            let mut buf = BytesMut::with_capacity(v.len() + 1);
+            buf.put_u8(1);
+            buf.put_slice(v);
+            buf.freeze()
+        }
+        None => Bytes::from(vec![0u8]),
     }
 }
 
-fn value_len(value: &Value) -> usize {
-    value.as_ref().map(|v| v.len()).unwrap_or(0) + 1
-}
-
-/// Wire size of the O(1) comparison for one key (two elements + verdict).
-fn compare_cost(a: &Srv, b: &Srv) -> usize {
-    let one = |v: &Srv| {
-        1 + v
-            .first()
-            .map(|e| {
-                wire::varint_len(u64::from(e.site.index())) + wire::varint_len(e.value)
-            })
-            .unwrap_or(0)
-    };
-    one(a) + one(b) + 2
+fn decode_value(mut buf: Bytes) -> std::result::Result<Value, WireError> {
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEof);
+    }
+    match buf.get_u8() {
+        0 if !buf.has_remaining() => Ok(None),
+        1 => Ok(Some(buf)),
+        _ => Err(WireError::InvalidPayload),
+    }
 }
 
 #[cfg(test)]

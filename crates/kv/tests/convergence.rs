@@ -15,11 +15,7 @@ enum Op {
 
 fn ops(stores: usize, len: usize) -> impl Strategy<Value = Vec<Op>> {
     let op = prop_oneof![
-        (0..stores, 0u8..5, any::<u8>()).prop_map(|(store, key, val)| Op::Put {
-            store,
-            key,
-            val
-        }),
+        (0..stores, 0u8..5, any::<u8>()).prop_map(|(store, key, val)| Op::Put { store, key, val }),
         (0..stores, 0u8..5).prop_map(|(store, key)| Op::Delete { store, key }),
         (0..stores, 0..stores - 1).prop_map(move |(dst, mut src)| {
             if src >= dst {

@@ -9,10 +9,11 @@
 //! deterministic drivers — the integration suite asserts exactly that.
 
 use crate::link::LinkStats;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use optrep_core::error::{Error, Result};
-use optrep_core::sync::{Endpoint, WireMsg};
 use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use optrep_core::error::{Error, Result, WireError};
+use optrep_core::sync::{Endpoint, Framed, WireMsg};
+use optrep_core::wire::FrameDecoder;
 use std::thread;
 use std::time::Duration;
 
@@ -105,6 +106,104 @@ where
     }
 }
 
+/// Runs two *framed* endpoints to completion over a byte stream.
+///
+/// Unlike [`run_pair`], which preserves message boundaries, this transport
+/// models a TCP-like connection: every encoded frame is cut into chunks of
+/// at most `chunk` bytes and the pieces travel independently, so a frame
+/// routinely arrives split across reads (or several frames coalesce into
+/// one). Each side reassembles the stream with a
+/// [`FrameDecoder`] — exactly what a socket-facing
+/// deployment of the multiplexed contact engine would do.
+///
+/// # Errors
+///
+/// Propagates the first endpoint or decode error, and returns
+/// [`Error::Incomplete`] on a stall (see [`run_pair`]).
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn run_pair_stream<A, B, M>(a: A, b: B, chunk: usize) -> Result<(A, B, LinkStats)>
+where
+    M: WireMsg + Send + 'static,
+    A: Endpoint<Msg = Framed<M>> + Send + 'static,
+    B: Endpoint<Msg = Framed<M>> + Send + 'static,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let (tx_ab, rx_ab) = unbounded::<Bytes>();
+    let (tx_ba, rx_ba) = unbounded::<Bytes>();
+    let _keep_ab = rx_ab.clone();
+    let _keep_ba = rx_ba.clone();
+
+    let ja = thread::spawn(move || stream_loop(a, tx_ab, rx_ba, chunk));
+    let jb = thread::spawn(move || stream_loop(b, tx_ba, rx_ab, chunk));
+
+    let (a, bytes_ab, msgs_ab) = ja.join().expect("endpoint thread panicked")?;
+    let (b, bytes_ba, msgs_ba) = jb.join().expect("endpoint thread panicked")?;
+    Ok((
+        a,
+        b,
+        LinkStats {
+            bytes_ab,
+            bytes_ba,
+            msgs_ab,
+            msgs_ba,
+        },
+    ))
+}
+
+/// [`endpoint_loop`] over a byte stream: outgoing frames are chopped into
+/// `chunk`-byte pieces, incoming pieces are reassembled into frames.
+fn stream_loop<E, M>(
+    mut ep: E,
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    chunk: usize,
+) -> Result<(E, usize, usize)>
+where
+    M: WireMsg,
+    E: Endpoint<Msg = Framed<M>>,
+{
+    let mut decoder = FrameDecoder::new();
+    let mut sent_bytes = 0;
+    let mut sent_msgs = 0;
+    loop {
+        while let Some(m) = ep.poll_send() {
+            let mut bytes = m.to_bytes();
+            sent_bytes += bytes.len();
+            sent_msgs += 1;
+            while !bytes.is_empty() {
+                let take = bytes.len().min(chunk);
+                let _ = tx.send(bytes.split_to(take));
+            }
+        }
+        if ep.is_done() {
+            return Ok((ep, sent_bytes, sent_msgs));
+        }
+        match rx.recv_timeout(STALL_TIMEOUT) {
+            Ok(piece) => {
+                decoder.push(&piece);
+                while let Some(frame) = decoder.next_frame().map_err(Error::from)? {
+                    let mut payload = frame.payload;
+                    let msg = M::decode(&mut payload).map_err(Error::from)?;
+                    if !payload.is_empty() {
+                        // A frame is exactly one message (see
+                        // `Framed::decode`).
+                        return Err(Error::from(WireError::UnexpectedEof));
+                    }
+                    ep.on_receive(Framed::new(frame.stream, msg))?;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                return Err(Error::Incomplete {
+                    protocol: "mem stream transport",
+                })
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +279,74 @@ mod tests {
             a_threaded.to_version_vector(),
             "threaded and lockstep runs agree on values"
         );
+    }
+
+    /// Adapts a plain endpoint onto a single stream of a framed
+    /// connection, as the multiplexed contact engine does per object.
+    struct OneStream<E>(E, u64);
+
+    impl<E: Endpoint> Endpoint for OneStream<E> {
+        type Msg = Framed<E::Msg>;
+
+        fn poll_send(&mut self) -> Option<Framed<E::Msg>> {
+            self.0.poll_send().map(|m| Framed::new(self.1, m))
+        }
+
+        fn on_receive(&mut self, framed: Framed<E::Msg>) -> Result<()> {
+            assert_eq!(framed.stream, self.1, "single-stream adapter");
+            self.0.on_receive(framed.msg)
+        }
+
+        fn is_done(&self) -> bool {
+            self.0.is_done()
+        }
+    }
+
+    #[test]
+    fn srv_sync_over_byte_stream_matches_lockstep() {
+        let build = || {
+            let mut a = Srv::new();
+            let mut b = Srv::new();
+            for i in 0..40 {
+                b.record_update(s(i % 8));
+                if i % 4 == 0 {
+                    a.record_update(s(10 + i % 3));
+                }
+            }
+            (a, b)
+        };
+        let (mut a_lock, b) = build();
+        optrep_core::sync::drive::sync_srv(&mut a_lock, &b).unwrap();
+
+        // One-byte chunks: every frame arrives split across many reads.
+        let (a, b) = build();
+        let relation = a.compare(&b);
+        let tx = OneStream(VectorSender::new(b), 3);
+        let rx = OneStream(SyncSReceiver::new(a, relation), 3);
+        let (_, rx, stats) = run_pair_stream(tx, rx, 1).unwrap();
+        let (a_streamed, _) = rx.0.finish();
+        assert_eq!(
+            a_lock.to_version_vector(),
+            a_streamed.to_version_vector(),
+            "byte-stream and lockstep runs agree on values"
+        );
+        assert!(stats.bytes_ab > 0);
+    }
+
+    #[test]
+    fn stream_transport_handles_whole_frame_chunks() {
+        // Large chunks degenerate to whole-frame delivery and still work.
+        let mut b = Brv::new();
+        for i in 0..12 {
+            b.record_update(s(i % 4));
+        }
+        let a = Brv::new();
+        let relation = a.compare(&b);
+        let tx = OneStream(VectorSender::new(b.clone()), 9);
+        let rx = OneStream(SyncBReceiver::new(a, relation).unwrap(), 9);
+        let (_, rx, _) = run_pair_stream(tx, rx, 64 * 1024).unwrap();
+        let (out, _) = rx.0.finish();
+        assert_eq!(out, b);
     }
 
     #[test]

@@ -69,11 +69,14 @@ pub struct SimReport {
     pub duration_ns: u64,
     /// Byte/message counters per direction.
     pub stats: LinkStats,
-    /// Payload bytes handed to the a→b line at or after the moment side B
-    /// emitted its first negative response — the paper's β excess.
+    /// Payload bytes a speculating side handed to its line at or after the
+    /// moment its peer emitted a negative response — the paper's β excess.
+    /// Direction-agnostic: a `SYNCS` sender on side A overrun by side B's
+    /// `HALT` counts exactly like a multiplexed server on side B overrun
+    /// by the client's `Done` cancellations.
     pub excess_bytes: usize,
-    /// Virtual time at which side B emitted its first negative response,
-    /// if any.
+    /// Virtual time of the first negative response from either side, if
+    /// any.
     pub first_nak_ns: Option<u64>,
 }
 
@@ -149,7 +152,8 @@ where
     /// Whether a Poll event is already pending for each side.
     poll_pending: [bool; 2],
     stats: LinkStats,
-    first_nak_ns: Option<u64>,
+    /// Time of the first negative response *emitted by* each side.
+    first_nak: [Option<u64>; 2],
     excess_bytes: usize,
 }
 
@@ -171,7 +175,7 @@ where
             line_free: [0, 0],
             poll_pending: [false, false],
             stats: LinkStats::new(),
-            first_nak_ns: None,
+            first_nak: [None, None],
             excess_bytes: 0,
         }
     }
@@ -212,7 +216,10 @@ where
             duration_ns: self.now,
             stats: self.stats,
             excess_bytes: self.excess_bytes,
-            first_nak_ns: self.first_nak_ns,
+            first_nak_ns: match self.first_nak {
+                [Some(a), Some(b)] => Some(a.min(b)),
+                [a, b] => a.or(b),
+            },
         })
     }
 
@@ -247,18 +254,16 @@ where
                 .map(|bw| (len as u64 * NANOS).div_ceil(bw.max(1)))
                 .unwrap_or(0);
             match side {
-                Side::A => {
-                    self.stats.record_ab(len);
-                    if msg.is_payload() && self.first_nak_ns.is_some() {
-                        self.excess_bytes += len;
-                    }
-                }
-                Side::B => {
-                    self.stats.record_ba(len);
-                    if msg.is_nak() && self.first_nak_ns.is_none() {
-                        self.first_nak_ns = Some(self.now);
-                    }
-                }
+                Side::A => self.stats.record_ab(len),
+                Side::B => self.stats.record_ba(len),
+            }
+            // Speculation overrun, in either direction: payload bytes this
+            // side sends after its peer asked it to stop.
+            if msg.is_payload() && self.first_nak[side.other().idx()].is_some() {
+                self.excess_bytes += len;
+            }
+            if msg.is_nak() && self.first_nak[side.idx()].is_none() {
+                self.first_nak[side.idx()] = Some(self.now);
             }
             let depart = self.now + tx_ns;
             self.line_free[side.idx()] = depart;
@@ -355,6 +360,30 @@ mod tests {
         assert!(report.first_nak_ns.is_some());
         let beta = 1000 * cfg.rtt() / NANOS; // bandwidth × rtt in bytes
         assert!(report.excess_bytes > 0, "some overrun expected");
+        assert!(
+            report.excess_bytes as u64 <= 2 * beta + 16,
+            "excess {} should be ≈ β = {beta}",
+            report.excess_bytes
+        );
+    }
+
+    #[test]
+    fn excess_accounting_works_in_reverse_orientation() {
+        // Same overrun scenario with the roles swapped on the link: the
+        // speculating sender sits on side B (as the server of a pull
+        // contact does) and the NAKing receiver on side A. The β
+        // accounting must see through the orientation.
+        let b = big_brv(200);
+        let a = b.clone();
+        let relation = a.compare(&b);
+        let tx = VectorSender::new(b);
+        let rx = SyncBReceiver::new(a, relation).unwrap();
+        let cfg = SimConfig::symmetric(10_000_000, Some(1000)); // 10 ms, 1 KB/s
+        let mut link = SimLink::new(rx, tx, cfg);
+        let report = link.run().unwrap();
+        assert!(report.first_nak_ns.is_some());
+        assert!(report.excess_bytes > 0, "overrun visible from either side");
+        let beta = 1000 * cfg.rtt() / NANOS;
         assert!(
             report.excess_bytes as u64 <= 2 * beta + 16,
             "excess {} should be ≈ β = {beta}",

@@ -7,13 +7,15 @@
 //! aggregated into [`ClusterStats`], which the benchmark harness reads.
 
 use crate::meta::ReplicaMeta;
+use crate::mux::{run_contact, BatchPullClient, BatchPullServer, ContactReport};
 use crate::object::ObjectId;
-use crate::payload::ReplicaPayload;
+use crate::payload::{ReplicaPayload, WirePayload};
 use crate::reconcile::Reconciler;
 use crate::session::{sync_replica, Outcome, SessionReport};
-use crate::site::Site;
+use crate::site::{Site, StateReplica};
+use bytes::{Bytes, BytesMut};
 use optrep_core::sync::SyncOptions;
-use optrep_core::{Result, SiteId};
+use optrep_core::{wire, Causality, Result, SiteId, Srv};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -42,6 +44,14 @@ pub struct ClusterStats {
     pub reconciliations: u64,
     /// Sessions that recorded a conflict for manual resolution.
     pub conflicts: u64,
+    /// Multiplexed contacts run (one framed connection each, all shared
+    /// objects as interleaved streams).
+    pub contacts: u64,
+    /// Blocking round trips spent across all contacts.
+    pub round_trips: u64,
+    /// Connection framing overhead bytes (frame headers, stream ids,
+    /// object names) across all contacts.
+    pub framing_bytes: u64,
 }
 
 impl ClusterStats {
@@ -234,6 +244,189 @@ where
         }
         Ok(None)
     }
+
+    /// Every object id hosted by at least one site, sorted.
+    pub fn all_objects(&self) -> Vec<ObjectId> {
+        let mut objects: Vec<ObjectId> =
+            self.sites.iter().flat_map(|site| site.objects()).collect();
+        objects.sort_unstable();
+        objects.dedup();
+        objects
+    }
+
+    /// [`is_consistent`](Self::is_consistent) over every hosted object.
+    pub fn is_consistent_all(&self) -> bool {
+        self.all_objects()
+            .into_iter()
+            .all(|object| self.is_consistent(object))
+    }
+}
+
+/// Wire name of an object on a multiplexed contact: its index as a varint.
+fn object_name(object: ObjectId) -> Bytes {
+    let mut buf = BytesMut::new();
+    wire::put_varint(&mut buf, object.index());
+    buf.freeze()
+}
+
+fn object_from_name(name: &Bytes) -> Result<ObjectId> {
+    let mut buf = name.clone();
+    Ok(ObjectId::new(wire::get_varint(&mut buf)?))
+}
+
+/// Mux-driven contacts. The batched engine embeds the per-stream `SYNCS`
+/// session, which only the paper's SRV scheme supports
+/// ([`crate::protocol::supports_session`]), so these methods exist for
+/// `Srv` clusters whose payloads have a real wire format.
+impl<P, R> Cluster<Srv, P, R>
+where
+    P: WirePayload,
+    R: Reconciler<P>,
+{
+    /// Synchronizes **all** of `src`'s objects into `dst` over one framed
+    /// connection: each shared object is an interleaved stream, first
+    /// elements travel in one batched frame (one comparison round trip
+    /// amortized over every object), and objects `dst` has never seen are
+    /// discovered and created. Per-object outcomes are applied exactly as
+    /// [`sync`](Self::sync) would (fast-forward overwrite, reconciler
+    /// merge plus Parker §C increment) and all costs land in
+    /// [`ClusterStats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and wire errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src` or either id is out of range.
+    pub fn contact(&mut self, dst: SiteId, src: SiteId) -> Result<ContactReport> {
+        assert_ne!(dst, src, "a site does not sync with itself");
+        let src_site = &self.sites[src.index() as usize];
+        let server_objects: Vec<(Bytes, Srv, Bytes)> = src_site
+            .objects()
+            .into_iter()
+            .map(|object| {
+                let replica = src_site.replica(object).expect("listed object exists");
+                (
+                    object_name(object),
+                    replica.meta.clone(),
+                    replica.payload.encode_payload(),
+                )
+            })
+            .collect();
+        let dst_site = &self.sites[dst.index() as usize];
+        let client_objects: Vec<(Bytes, Srv)> = dst_site
+            .objects()
+            .into_iter()
+            .map(|object| {
+                let replica = dst_site.replica(object).expect("listed object exists");
+                (object_name(object), replica.meta.clone())
+            })
+            .collect();
+
+        let mut client = BatchPullClient::new(client_objects);
+        let mut server = BatchPullServer::new(server_objects);
+        let report = run_contact(&mut client, &mut server)?;
+
+        self.stats.contacts += 1;
+        self.stats.round_trips += report.round_trips;
+        self.stats.compare_bytes += report.compare_bytes;
+        self.stats.meta_bytes += report.meta_bytes;
+        self.stats.payload_bytes += report.payload_bytes;
+        self.stats.framing_bytes += report.framing_bytes;
+
+        let dst_site = &mut self.sites[dst.index() as usize];
+        for result in client.finish() {
+            let object = object_from_name(&result.name)?;
+            let Some(outcome) = result.outcome else {
+                // `dst` hosts an object `src` does not; nothing travelled.
+                continue;
+            };
+            self.stats.sessions += 1;
+            dst_site.stats_mut().syncs_received += 1;
+            self.stats.delta_total += outcome.stats.delta as u64;
+            self.stats.gamma_total += outcome.stats.gamma as u64;
+            self.stats.skips_total += outcome.stats.skips as u64;
+            self.stats.meta_elements += outcome.stats.elements_received as u64;
+            if result.discovered {
+                let mut data = outcome.payload.expect("discovered objects transfer");
+                let payload = P::decode_payload(&mut data).map_err(optrep_core::Error::Wire)?;
+                dst_site.insert_replica(
+                    object,
+                    StateReplica {
+                        meta: outcome.vector,
+                        payload,
+                    },
+                );
+                continue;
+            }
+            match outcome.relation {
+                Causality::Equal | Causality::After => {}
+                Causality::Before => {
+                    let mut data = outcome.payload.expect("fast-forward transfers state");
+                    let payload = P::decode_payload(&mut data).map_err(optrep_core::Error::Wire)?;
+                    let replica = dst_site.replica_mut(object).expect("named by client");
+                    replica.meta = outcome.vector;
+                    replica.payload = payload;
+                    self.stats.fast_forwards += 1;
+                }
+                Causality::Concurrent => {
+                    let mut data = outcome.payload.expect("reconciliation transfers state");
+                    let theirs = P::decode_payload(&mut data).map_err(optrep_core::Error::Wire)?;
+                    let replica = dst_site.replica_mut(object).expect("named by client");
+                    replica.payload = self.reconciler.merge(&replica.payload, &theirs);
+                    replica.meta = outcome.vector;
+                    // Parker §C: increment after reconciliation to restore
+                    // the front-element invariant for the O(1) COMPARE.
+                    ReplicaMeta::record_update(&mut replica.meta, dst);
+                    let site_stats = dst_site.stats_mut();
+                    site_stats.reconciliations += 1;
+                    site_stats.updates += 1;
+                    self.stats.reconciliations += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// One gossip round through the mux engine: every site pulls **all**
+    /// objects from one uniformly random peer over a single framed
+    /// connection, in random order. Consumes randomness exactly like
+    /// [`gossip_round`](Self::gossip_round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors.
+    pub fn gossip_round_mux<G: Rng>(&mut self, rng: &mut G) -> Result<()> {
+        let n = self.sites.len() as u32;
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(rng);
+        for dst in order {
+            let mut src = rng.gen_range(0..n - 1);
+            if src >= dst {
+                src += 1;
+            }
+            self.contact(SiteId::new(dst), SiteId::new(src))?;
+        }
+        Ok(())
+    }
+
+    /// Runs mux gossip rounds until every hosted object is consistent, up
+    /// to `max_rounds`. Returns the number of rounds taken, or `None` if
+    /// the budget ran out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors.
+    pub fn converge_mux<G: Rng>(&mut self, rng: &mut G, max_rounds: u64) -> Result<Option<u64>> {
+        for round in 1..=max_rounds {
+            self.gossip_round_mux(rng)?;
+            if self.is_consistent_all() {
+                return Ok(Some(round));
+            }
+        }
+        Ok(None)
+    }
 }
 
 #[cfg(test)]
@@ -249,10 +442,12 @@ mod tests {
         ObjectId::new(0)
     }
 
-    fn converged_cluster<M: ReplicaMeta>(n: u32, seed: u64) -> Cluster<M, TokenSet, UnionReconciler> {
+    fn converged_cluster<M: ReplicaMeta>(
+        n: u32,
+        seed: u64,
+    ) -> Cluster<M, TokenSet, UnionReconciler> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut cluster: Cluster<M, TokenSet, UnionReconciler> =
-            Cluster::new(n, UnionReconciler);
+        let mut cluster: Cluster<M, TokenSet, UnionReconciler> = Cluster::new(n, UnionReconciler);
         cluster
             .site_mut(SiteId::new(0))
             .create_object(obj(), TokenSet::singleton("init"));
@@ -277,7 +472,10 @@ mod tests {
     fn srv_cluster_converges() {
         let cluster = converged_cluster::<Srv>(8, 42);
         assert!(cluster.is_consistent(obj()));
-        assert!(cluster.stats().reconciliations > 0, "conflicts were reconciled");
+        assert!(
+            cluster.stats().reconciliations > 0,
+            "conflicts were reconciled"
+        );
         // All update tokens made it everywhere.
         let payload = &cluster.site(SiteId::new(0)).replica(obj()).unwrap().payload;
         assert!(payload.len() > 10);
@@ -289,12 +487,27 @@ mod tests {
         let crv = converged_cluster::<Crv>(6, 7);
         let full = converged_cluster::<VersionVector>(6, 7);
         let p = |c: &dyn Fn() -> TokenSet| c();
-        let srv_payload =
-            p(&|| srv.site(SiteId::new(0)).replica(obj()).unwrap().payload.clone());
-        let crv_payload =
-            p(&|| crv.site(SiteId::new(0)).replica(obj()).unwrap().payload.clone());
-        let full_payload =
-            p(&|| full.site(SiteId::new(0)).replica(obj()).unwrap().payload.clone());
+        let srv_payload = p(&|| {
+            srv.site(SiteId::new(0))
+                .replica(obj())
+                .unwrap()
+                .payload
+                .clone()
+        });
+        let crv_payload = p(&|| {
+            crv.site(SiteId::new(0))
+                .replica(obj())
+                .unwrap()
+                .payload
+                .clone()
+        });
+        let full_payload = p(&|| {
+            full.site(SiteId::new(0))
+                .replica(obj())
+                .unwrap()
+                .payload
+                .clone()
+        });
         // Same seed → same trace → same final payload across schemes.
         assert_eq!(srv_payload, crv_payload);
         assert_eq!(srv_payload, full_payload);
@@ -313,8 +526,96 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not sync with itself")]
     fn self_sync_rejected() {
-        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> =
-            Cluster::new(2, UnionReconciler);
+        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(2, UnionReconciler);
         let _ = cluster.sync(SiteId::new(0), SiteId::new(0), obj());
+    }
+
+    /// [`converged_cluster`] with every pairwise sync routed through the
+    /// multiplexed contact engine instead of per-object sessions.
+    fn converged_cluster_mux(n: u32, seed: u64) -> Cluster<Srv, TokenSet, UnionReconciler> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(n, UnionReconciler);
+        cluster
+            .site_mut(SiteId::new(0))
+            .create_object(obj(), TokenSet::singleton("init"));
+        for round in 0..5u32 {
+            cluster.gossip_round_mux(&mut rng).unwrap();
+            for i in 0..n.min(4) {
+                let site = SiteId::new(i);
+                if cluster.site(site).replica(obj()).is_some() {
+                    cluster.site_mut(site).update(obj(), |p| {
+                        p.insert(format!("{site}:{round}"));
+                    });
+                }
+            }
+        }
+        let rounds = cluster.converge_mux(&mut rng, 200).unwrap();
+        assert!(rounds.is_some(), "mux cluster failed to converge");
+        cluster
+    }
+
+    #[test]
+    fn mux_rounds_match_per_object_rounds() {
+        // Same seed → same pairings; per-object relations depend only on
+        // the vectors, so routing the trace through the mux engine must
+        // land every site on the same payload as dedicated sessions.
+        let per_object = converged_cluster::<Srv>(8, 42);
+        let mux = converged_cluster_mux(8, 42);
+        let a = &per_object
+            .site(SiteId::new(0))
+            .replica(obj())
+            .unwrap()
+            .payload;
+        let b = &mux.site(SiteId::new(0)).replica(obj()).unwrap().payload;
+        assert_eq!(a, b);
+        let stats = mux.stats();
+        assert!(stats.contacts > 0);
+        assert!(stats.round_trips > 0);
+        assert!(stats.framing_bytes > 0, "connection overhead is accounted");
+        assert!(stats.reconciliations > 0, "conflicts were reconciled");
+    }
+
+    #[test]
+    fn contact_syncs_all_objects_over_one_connection() {
+        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(2, UnionReconciler);
+        for i in 0..8u64 {
+            cluster
+                .site_mut(SiteId::new(0))
+                .create_object(ObjectId::new(i), TokenSet::singleton(format!("o{i}")));
+        }
+        // First contact discovers all eight objects in one connection.
+        let report = cluster.contact(SiteId::new(1), SiteId::new(0)).unwrap();
+        assert!(report.round_trips <= 2, "discovery burst, not per-object");
+        for i in 0..8u64 {
+            assert!(cluster
+                .site(SiteId::new(1))
+                .replica(ObjectId::new(i))
+                .is_some());
+        }
+        assert!(cluster.is_consistent_all());
+        // A clean repeat costs exactly one blocking round trip and no
+        // payload: the batched first-element exchange settles every stream.
+        let repeat = cluster.contact(SiteId::new(1), SiteId::new(0)).unwrap();
+        assert_eq!(repeat.round_trips, 1);
+        assert_eq!(repeat.payload_bytes, 0);
+    }
+
+    #[test]
+    fn mux_gossip_converges_multiple_objects() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(6, UnionReconciler);
+        for i in 0..4u64 {
+            let owner = SiteId::new((i % 3) as u32);
+            cluster
+                .site_mut(owner)
+                .create_object(ObjectId::new(i), TokenSet::singleton(format!("seed{i}")));
+        }
+        let rounds = cluster.converge_mux(&mut rng, 100).unwrap();
+        assert!(rounds.is_some(), "multi-object cluster converged");
+        assert!(cluster.is_consistent_all());
+        let stats = cluster.stats();
+        assert!(stats.sessions > 0);
+        assert!(stats.contacts > 0);
+        assert!(stats.payload_bytes > 0);
     }
 }

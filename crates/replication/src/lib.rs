@@ -22,6 +22,7 @@
 
 pub mod gossip;
 pub mod meta;
+pub mod mux;
 pub mod object;
 pub mod oplog;
 pub mod payload;
@@ -32,9 +33,12 @@ pub mod site;
 
 pub use gossip::{Cluster, ClusterStats};
 pub use meta::ReplicaMeta;
+pub use mux::{
+    run_contact, BatchPullClient, BatchPullServer, ContactReport, CtrlMsg, MuxMsg, StreamResult,
+};
 pub use object::ObjectId;
 pub use oplog::OpReplica;
-pub use payload::{ReplicaPayload, TokenSet};
+pub use payload::{ReplicaPayload, TokenSet, WirePayload};
 pub use protocol::{apply_pull, PullClient, PullOutcome, PullServer, SessionMsg};
 pub use reconcile::{PickReceiver, PickSender, Reconciler, UnionReconciler};
 pub use session::{sync_replica, Outcome, SessionReport};

@@ -6,9 +6,7 @@
 //! traditional full-transfer baseline), so every experiment can swap the
 //! scheme without touching the replication machinery.
 
-use optrep_core::sync::drive::{
-    sync_brv_opts, sync_crv_opts, sync_full_opts, sync_srv_opts,
-};
+use optrep_core::sync::drive::{sync_brv_opts, sync_crv_opts, sync_full_opts, sync_srv_opts};
 use optrep_core::sync::{SyncOptions, SyncReport};
 use optrep_core::{Brv, Causality, Crv, Result, RotatingVector, SiteId, Srv, VersionVector};
 

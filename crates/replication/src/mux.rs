@@ -1,0 +1,1122 @@
+//! Multiplexed multi-object anti-entropy sessions over one framed
+//! connection.
+//!
+//! [`crate::protocol`] synchronizes *one* object per connection: every
+//! object costs its own `Hello`/`ServerFirst` exchange, so pulling `n`
+//! objects costs at least `n` round trips even when almost all of them are
+//! already identical. This module multiplexes an arbitrary set of objects
+//! over a single connection as interleaved streams (see
+//! [`optrep_core::sync::Framed`] and [`optrep_core::wire::FrameDecoder`]):
+//!
+//! * Each object's session is one stream; stream `0` carries connection
+//!   control.
+//! * All first elements travel together in one [`CtrlMsg::BatchHello`]
+//!   frame and are answered by one [`CtrlMsg::BatchServerFirst`] — the
+//!   comparison half-round-trip is amortized over all `n` objects while
+//!   each object still pays only Algorithm 1's O(1) element exchange.
+//! * Per-stream `Done` verdicts coalesce into one [`CtrlMsg::BatchDone`].
+//! * Objects the client did not name can be *offered* by the server
+//!   (discovery), so a contact also creates replicas the puller has never
+//!   seen.
+//!
+//! Inside each stream the protocol is exactly [`crate::protocol`]'s: the
+//! server streams `SYNCS` elements speculatively (§3.1 pipelining) and a
+//! late `Done` cancels it cheaply. The result is that a batched pull of
+//! `n` objects with `d` dirty ones completes in `O(1 + d/n·k)` round
+//! trips instead of `Ω(n)`, with per-object `Δ`/`Γ`/`γ` accounting
+//! identical to the single-object path.
+
+use crate::protocol::{
+    get_opt_elem, opt_elem_len, put_opt_elem, PullClient, PullOutcome, PullServer, SessionMsg,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use optrep_core::error::{Error, Result, WireError};
+use optrep_core::sync::{Endpoint, Framed, ProtocolMsg, WireMsg};
+use optrep_core::{wire, SiteId, Srv};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Stream identifier reserved for connection-level control frames.
+pub const CONTROL_STREAM: u64 = 0;
+
+/// The fields of a per-stream `ServerFirst` answer:
+/// `(first, client_known, client_equal)`.
+type ServerFirstFields = (Option<(SiteId, u64)>, bool, bool);
+
+/// One stream-open request inside a [`CtrlMsg::BatchHello`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOpen {
+    /// Client-chosen stream identifier (never [`CONTROL_STREAM`]).
+    pub stream: u64,
+    /// Application name of the object (key bytes, object id, …).
+    pub name: Bytes,
+    /// The client's first element `⌊a⌋` for this object.
+    pub first: Option<(SiteId, u64)>,
+}
+
+/// The server's per-stream half of Algorithm 1, inside a
+/// [`CtrlMsg::BatchServerFirst`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamAnswer {
+    /// Stream this answers (matches a [`StreamOpen`]).
+    pub stream: u64,
+    /// `true` if the server does not hold the named object at all.
+    pub missing: bool,
+    /// The server's first element `⌊b⌋`.
+    pub first: Option<(SiteId, u64)>,
+    /// `u_a ≤ b[l_a]` evaluated at the server.
+    pub client_known: bool,
+    /// `u_a = b[l_a]` evaluated at the server.
+    pub client_equal: bool,
+}
+
+/// A server-discovered object the client did not name, opened by the
+/// server on a fresh stream (the client pulls it from scratch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOffer {
+    /// Server-chosen stream identifier (above all client streams).
+    pub stream: u64,
+    /// Application name of the object.
+    pub name: Bytes,
+    /// The server's first element `⌊b⌋`.
+    pub first: Option<(SiteId, u64)>,
+    /// `client_equal` computed against the implicit empty client vector.
+    pub client_equal: bool,
+}
+
+/// Control-stream messages of the multiplexed connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Puller → server: open all streams at once, one `Hello` each.
+    BatchHello {
+        /// Ask the server to offer objects the client did not name.
+        discover: bool,
+        /// One entry per object the client wants to pull.
+        opens: Vec<StreamOpen>,
+    },
+    /// Server → puller: every answer (and offer) in one frame.
+    BatchServerFirst {
+        /// Answers to the client's opens, in the same order.
+        answers: Vec<StreamAnswer>,
+        /// Server-discovered objects (empty unless discovery was asked).
+        offers: Vec<StreamOffer>,
+    },
+    /// Puller → server: the listed streams are finished (coalesced
+    /// per-stream `Done`s; cancels speculative streaming).
+    BatchDone {
+        /// Streams whose sessions ended clean.
+        streams: Vec<u64>,
+    },
+}
+
+const TAG_BATCH_HELLO: u8 = 0x31;
+const TAG_BATCH_SERVER_FIRST: u8 = 0x32;
+const TAG_BATCH_DONE: u8 = 0x33;
+
+/// Any message of the multiplexed connection: control traffic on stream
+/// [`CONTROL_STREAM`], per-object session traffic on every other stream.
+///
+/// Wrapped in [`Framed`] it is what the transports carry; the tag spaces
+/// of [`CtrlMsg`] (`0x31..`) and [`SessionMsg`] (`0x21..`) are disjoint,
+/// so decoding is unambiguous without looking at the stream id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuxMsg {
+    /// A control-stream message.
+    Ctrl(CtrlMsg),
+    /// A per-object session message.
+    Session(SessionMsg),
+}
+
+impl WireMsg for MuxMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            MuxMsg::Ctrl(CtrlMsg::BatchHello { discover, opens }) => {
+                buf.put_u8(TAG_BATCH_HELLO);
+                buf.put_u8(u8::from(*discover));
+                wire::put_varint(buf, opens.len() as u64);
+                for open in opens {
+                    wire::put_varint(buf, open.stream);
+                    wire::put_bytes(buf, &open.name);
+                    put_opt_elem(buf, &open.first);
+                }
+            }
+            MuxMsg::Ctrl(CtrlMsg::BatchServerFirst { answers, offers }) => {
+                buf.put_u8(TAG_BATCH_SERVER_FIRST);
+                wire::put_varint(buf, answers.len() as u64);
+                for ans in answers {
+                    wire::put_varint(buf, ans.stream);
+                    buf.put_u8(
+                        u8::from(ans.client_known)
+                            | u8::from(ans.client_equal) << 1
+                            | u8::from(ans.missing) << 2,
+                    );
+                    put_opt_elem(buf, &ans.first);
+                }
+                wire::put_varint(buf, offers.len() as u64);
+                for offer in offers {
+                    wire::put_varint(buf, offer.stream);
+                    wire::put_bytes(buf, &offer.name);
+                    buf.put_u8(u8::from(offer.client_equal));
+                    put_opt_elem(buf, &offer.first);
+                }
+            }
+            MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
+                buf.put_u8(TAG_BATCH_DONE);
+                wire::put_varint(buf, streams.len() as u64);
+                for s in streams {
+                    wire::put_varint(buf, *s);
+                }
+            }
+            MuxMsg::Session(inner) => inner.encode(buf),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> std::result::Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        match buf[0] {
+            TAG_BATCH_HELLO => {
+                buf.advance(1);
+                if !buf.has_remaining() {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let discover = buf.get_u8() != 0;
+                let count = wire::get_varint(buf)? as usize;
+                let mut opens = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let stream = wire::get_varint(buf)?;
+                    let name = wire::get_bytes(buf)?;
+                    let first = get_opt_elem(buf)?;
+                    opens.push(StreamOpen {
+                        stream,
+                        name,
+                        first,
+                    });
+                }
+                Ok(MuxMsg::Ctrl(CtrlMsg::BatchHello { discover, opens }))
+            }
+            TAG_BATCH_SERVER_FIRST => {
+                buf.advance(1);
+                let count = wire::get_varint(buf)? as usize;
+                let mut answers = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let stream = wire::get_varint(buf)?;
+                    if !buf.has_remaining() {
+                        return Err(WireError::UnexpectedEof);
+                    }
+                    let flags = buf.get_u8();
+                    let first = get_opt_elem(buf)?;
+                    answers.push(StreamAnswer {
+                        stream,
+                        missing: flags & 4 == 4,
+                        first,
+                        client_known: flags & 1 == 1,
+                        client_equal: flags & 2 == 2,
+                    });
+                }
+                let count = wire::get_varint(buf)? as usize;
+                let mut offers = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let stream = wire::get_varint(buf)?;
+                    let name = wire::get_bytes(buf)?;
+                    if !buf.has_remaining() {
+                        return Err(WireError::UnexpectedEof);
+                    }
+                    let client_equal = buf.get_u8() != 0;
+                    let first = get_opt_elem(buf)?;
+                    offers.push(StreamOffer {
+                        stream,
+                        name,
+                        first,
+                        client_equal,
+                    });
+                }
+                Ok(MuxMsg::Ctrl(CtrlMsg::BatchServerFirst { answers, offers }))
+            }
+            TAG_BATCH_DONE => {
+                buf.advance(1);
+                let count = wire::get_varint(buf)? as usize;
+                let mut streams = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    streams.push(wire::get_varint(buf)?);
+                }
+                Ok(MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }))
+            }
+            _ => Ok(MuxMsg::Session(SessionMsg::decode(buf)?)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            MuxMsg::Ctrl(CtrlMsg::BatchHello { opens, .. }) => {
+                2 + wire::varint_len(opens.len() as u64)
+                    + opens
+                        .iter()
+                        .map(|o| {
+                            wire::varint_len(o.stream)
+                                + wire::bytes_len(o.name.len())
+                                + opt_elem_len(&o.first)
+                        })
+                        .sum::<usize>()
+            }
+            MuxMsg::Ctrl(CtrlMsg::BatchServerFirst { answers, offers }) => {
+                1 + wire::varint_len(answers.len() as u64)
+                    + answers
+                        .iter()
+                        .map(|a| wire::varint_len(a.stream) + 1 + opt_elem_len(&a.first))
+                        .sum::<usize>()
+                    + wire::varint_len(offers.len() as u64)
+                    + offers
+                        .iter()
+                        .map(|o| {
+                            wire::varint_len(o.stream)
+                                + wire::bytes_len(o.name.len())
+                                + 1
+                                + opt_elem_len(&o.first)
+                        })
+                        .sum::<usize>()
+            }
+            MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
+                1 + wire::varint_len(streams.len() as u64)
+                    + streams.iter().map(|s| wire::varint_len(*s)).sum::<usize>()
+            }
+            MuxMsg::Session(inner) => inner.encoded_len(),
+        }
+    }
+}
+
+impl ProtocolMsg for MuxMsg {
+    fn is_payload(&self) -> bool {
+        matches!(self, MuxMsg::Session(inner) if inner.is_payload())
+    }
+
+    fn is_nak(&self) -> bool {
+        matches!(self, MuxMsg::Ctrl(CtrlMsg::BatchDone { .. }))
+            || matches!(self, MuxMsg::Session(inner) if inner.is_nak())
+    }
+}
+
+/// What one stream of a finished batched pull produced.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Stream the object rode on.
+    pub stream: u64,
+    /// Application name of the object.
+    pub name: Bytes,
+    /// `true` if the server offered this object (the client had no
+    /// replica; the pull transferred it from scratch).
+    pub discovered: bool,
+    /// The per-object session outcome; `None` if the server does not
+    /// hold the object.
+    pub outcome: Option<PullOutcome>,
+}
+
+#[derive(Debug)]
+struct ClientStream {
+    name: Bytes,
+    discovered: bool,
+    missing: bool,
+    client: PullClient,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientPhase {
+    Start,
+    AwaitServerFirst,
+    Running,
+}
+
+/// The pulling side of a batched, multiplexed contact: one
+/// [`PullClient`] per stream behind a single control stream.
+///
+/// Implements [`Endpoint`] over [`Framed`]`<`[`MuxMsg`]`>`, so any
+/// transport that can carry the single-object session (the discrete-event
+/// simulator, OS threads, a lockstep driver) can carry a whole contact.
+#[derive(Debug)]
+pub struct BatchPullClient {
+    phase: ClientPhase,
+    discover: bool,
+    streams: BTreeMap<u64, ClientStream>,
+    order: Vec<u64>,
+    cursor: usize,
+    pending_dones: Vec<u64>,
+    outbox: VecDeque<Framed<MuxMsg>>,
+}
+
+impl BatchPullClient {
+    /// Creates a client pulling the named objects, with server-side
+    /// discovery of unnamed objects enabled.
+    pub fn new<I>(objects: I) -> Self
+    where
+        I: IntoIterator<Item = (Bytes, Srv)>,
+    {
+        let mut streams = BTreeMap::new();
+        let mut order = Vec::new();
+        for (i, (name, vector)) in objects.into_iter().enumerate() {
+            let stream = i as u64 + 1;
+            streams.insert(
+                stream,
+                ClientStream {
+                    name,
+                    discovered: false,
+                    missing: false,
+                    client: PullClient::new(vector),
+                },
+            );
+            order.push(stream);
+        }
+        BatchPullClient {
+            phase: ClientPhase::Start,
+            discover: true,
+            streams,
+            order,
+            cursor: 0,
+            pending_dones: Vec::new(),
+            outbox: VecDeque::new(),
+        }
+    }
+
+    /// Creates a client that only pulls the objects it names (the server
+    /// offers nothing extra).
+    pub fn without_discovery<I>(objects: I) -> Self
+    where
+        I: IntoIterator<Item = (Bytes, Srv)>,
+    {
+        let mut client = Self::new(objects);
+        client.discover = false;
+        client
+    }
+
+    /// Number of streams (named plus discovered).
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Moves session messages out of every per-stream client into the
+    /// connection outbox, coalescing `Done`s. One message per stream per
+    /// pass keeps the streams fairly interleaved on the wire.
+    fn gather(&mut self) {
+        loop {
+            let mut progress = false;
+            for idx in 0..self.order.len() {
+                let stream = self.order[(self.cursor + idx) % self.order.len()];
+                let st = self.streams.get_mut(&stream).expect("stream exists");
+                if st.missing {
+                    continue;
+                }
+                if let Some(msg) = st.client.poll_send() {
+                    progress = true;
+                    if msg == SessionMsg::Done {
+                        self.pending_dones.push(stream);
+                    } else {
+                        self.outbox
+                            .push_back(Framed::new(stream, MuxMsg::Session(msg)));
+                    }
+                }
+            }
+            if !self.order.is_empty() {
+                self.cursor = (self.cursor + 1) % self.order.len();
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    fn unknown_stream(stream: u64) -> Error {
+        Error::UnexpectedMessage {
+            protocol: "mux",
+            message: format!("message for unknown stream {stream}"),
+        }
+    }
+
+    /// Consumes the finished client, yielding one result per stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contact has not completed (check
+    /// [`is_done`](Endpoint::is_done) first).
+    pub fn finish(self) -> Vec<StreamResult> {
+        assert!(
+            self.phase == ClientPhase::Running
+                && self.pending_dones.is_empty()
+                && self.outbox.is_empty(),
+            "contact still in progress"
+        );
+        self.streams
+            .into_iter()
+            .map(|(stream, st)| StreamResult {
+                stream,
+                name: st.name,
+                discovered: st.discovered,
+                outcome: if st.missing {
+                    None
+                } else {
+                    Some(st.client.finish())
+                },
+            })
+            .collect()
+    }
+}
+
+impl Endpoint for BatchPullClient {
+    type Msg = Framed<MuxMsg>;
+
+    fn poll_send(&mut self) -> Option<Framed<MuxMsg>> {
+        if self.phase == ClientPhase::Start {
+            let mut opens = Vec::with_capacity(self.order.len());
+            for &stream in &self.order {
+                let st = self.streams.get_mut(&stream).expect("stream exists");
+                let first = match st.client.poll_send() {
+                    Some(SessionMsg::Hello { first }) => first,
+                    other => unreachable!("fresh client must greet, got {other:?}"),
+                };
+                opens.push(StreamOpen {
+                    stream,
+                    name: st.name.clone(),
+                    first,
+                });
+            }
+            self.phase = ClientPhase::AwaitServerFirst;
+            return Some(Framed::new(
+                CONTROL_STREAM,
+                MuxMsg::Ctrl(CtrlMsg::BatchHello {
+                    discover: self.discover,
+                    opens,
+                }),
+            ));
+        }
+        self.gather();
+        if !self.pending_dones.is_empty() {
+            let streams = std::mem::take(&mut self.pending_dones);
+            return Some(Framed::new(
+                CONTROL_STREAM,
+                MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }),
+            ));
+        }
+        self.outbox.pop_front()
+    }
+
+    fn on_receive(&mut self, framed: Framed<MuxMsg>) -> Result<()> {
+        match framed.msg {
+            MuxMsg::Ctrl(CtrlMsg::BatchServerFirst { answers, offers }) => {
+                if self.phase != ClientPhase::AwaitServerFirst {
+                    return Err(Error::UnexpectedMessage {
+                        protocol: "mux",
+                        message: "BatchServerFirst out of order".into(),
+                    });
+                }
+                for ans in answers {
+                    let st = self
+                        .streams
+                        .get_mut(&ans.stream)
+                        .ok_or_else(|| Self::unknown_stream(ans.stream))?;
+                    if ans.missing {
+                        st.missing = true;
+                    } else {
+                        st.client.on_receive(SessionMsg::ServerFirst {
+                            first: ans.first,
+                            client_known: ans.client_known,
+                            client_equal: ans.client_equal,
+                        })?;
+                    }
+                }
+                for offer in offers {
+                    let mut client = PullClient::new(Srv::new());
+                    // The server answered the implicit empty Hello; pump
+                    // and discard ours to keep the state machines aligned.
+                    match client.poll_send() {
+                        Some(SessionMsg::Hello { first: None }) => {}
+                        other => unreachable!("empty client greets with None, got {other:?}"),
+                    }
+                    client.on_receive(SessionMsg::ServerFirst {
+                        first: offer.first,
+                        client_known: true,
+                        client_equal: offer.client_equal,
+                    })?;
+                    if self.streams.contains_key(&offer.stream) {
+                        return Err(Error::UnexpectedMessage {
+                            protocol: "mux",
+                            message: format!("offer reuses stream {}", offer.stream),
+                        });
+                    }
+                    self.streams.insert(
+                        offer.stream,
+                        ClientStream {
+                            name: offer.name,
+                            discovered: true,
+                            missing: false,
+                            client,
+                        },
+                    );
+                    self.order.push(offer.stream);
+                }
+                self.phase = ClientPhase::Running;
+                Ok(())
+            }
+            MuxMsg::Session(msg) => {
+                let st = self
+                    .streams
+                    .get_mut(&framed.stream)
+                    .ok_or_else(|| Self::unknown_stream(framed.stream))?;
+                st.client.on_receive(msg)
+            }
+            MuxMsg::Ctrl(other) => Err(Error::UnexpectedMessage {
+                protocol: "mux",
+                message: format!("{other:?} at client"),
+            }),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.phase == ClientPhase::Running
+            && self.pending_dones.is_empty()
+            && self.outbox.is_empty()
+            && self
+                .streams
+                .values()
+                .all(|st| st.missing || st.client.is_done())
+    }
+}
+
+/// The serving side of a batched, multiplexed contact: one
+/// [`PullServer`] per opened stream behind a single control stream.
+#[derive(Debug)]
+pub struct BatchPullServer {
+    objects: BTreeMap<Bytes, (Srv, Bytes)>,
+    streams: BTreeMap<u64, PullServer>,
+    order: Vec<u64>,
+    cursor: usize,
+    seen_hello: bool,
+    outbox: VecDeque<Framed<MuxMsg>>,
+}
+
+impl BatchPullServer {
+    /// Creates a server holding the named objects (vector plus serialized
+    /// payload each).
+    pub fn new<I>(objects: I) -> Self
+    where
+        I: IntoIterator<Item = (Bytes, Srv, Bytes)>,
+    {
+        BatchPullServer {
+            objects: objects
+                .into_iter()
+                .map(|(name, vector, payload)| (name, (vector, payload)))
+                .collect(),
+            streams: BTreeMap::new(),
+            order: Vec::new(),
+            cursor: 0,
+            seen_hello: false,
+            outbox: VecDeque::new(),
+        }
+    }
+
+    /// Opens a per-stream server, feeds it the (possibly implicit) Hello
+    /// and pumps out its `ServerFirst` fields.
+    fn open_stream(
+        &mut self,
+        stream: u64,
+        vector: Srv,
+        payload: Bytes,
+        hello_first: Option<(SiteId, u64)>,
+    ) -> Result<ServerFirstFields> {
+        let mut server = PullServer::new(vector, payload);
+        server.on_receive(SessionMsg::Hello { first: hello_first })?;
+        let (first, client_known, client_equal) = match server.poll_send() {
+            Some(SessionMsg::ServerFirst {
+                first,
+                client_known,
+                client_equal,
+            }) => (first, client_known, client_equal),
+            other => unreachable!("server answers Hello with ServerFirst, got {other:?}"),
+        };
+        self.streams.insert(stream, server);
+        self.order.push(stream);
+        Ok((first, client_known, client_equal))
+    }
+}
+
+impl Endpoint for BatchPullServer {
+    type Msg = Framed<MuxMsg>;
+
+    fn poll_send(&mut self) -> Option<Framed<MuxMsg>> {
+        if let Some(f) = self.outbox.pop_front() {
+            return Some(f);
+        }
+        // Round-robin over the per-stream servers so concurrent streams
+        // interleave on the wire instead of draining one at a time.
+        for idx in 0..self.order.len() {
+            let pos = (self.cursor + idx) % self.order.len();
+            let stream = self.order[pos];
+            let server = self.streams.get_mut(&stream).expect("stream exists");
+            if let Some(msg) = server.poll_send() {
+                self.cursor = (pos + 1) % self.order.len();
+                return Some(Framed::new(stream, MuxMsg::Session(msg)));
+            }
+        }
+        None
+    }
+
+    fn on_receive(&mut self, framed: Framed<MuxMsg>) -> Result<()> {
+        match framed.msg {
+            MuxMsg::Ctrl(CtrlMsg::BatchHello { discover, opens }) => {
+                if self.seen_hello {
+                    return Err(Error::UnexpectedMessage {
+                        protocol: "mux",
+                        message: "BatchHello after connection start".into(),
+                    });
+                }
+                self.seen_hello = true;
+                let mut next_stream = opens.iter().map(|o| o.stream).max().unwrap_or(0) + 1;
+                let mut answers = Vec::with_capacity(opens.len());
+                for open in opens {
+                    match self.objects.remove(&open.name) {
+                        Some((vector, payload)) => {
+                            let (first, client_known, client_equal) =
+                                self.open_stream(open.stream, vector, payload, open.first)?;
+                            answers.push(StreamAnswer {
+                                stream: open.stream,
+                                missing: false,
+                                first,
+                                client_known,
+                                client_equal,
+                            });
+                        }
+                        None => answers.push(StreamAnswer {
+                            stream: open.stream,
+                            missing: true,
+                            first: None,
+                            client_known: false,
+                            client_equal: false,
+                        }),
+                    }
+                }
+                let mut offers = Vec::new();
+                if discover {
+                    for (name, (vector, payload)) in std::mem::take(&mut self.objects) {
+                        let stream = next_stream;
+                        next_stream += 1;
+                        let (first, _known, client_equal) =
+                            self.open_stream(stream, vector, payload, None)?;
+                        offers.push(StreamOffer {
+                            stream,
+                            name,
+                            first,
+                            client_equal,
+                        });
+                    }
+                }
+                self.outbox.push_back(Framed::new(
+                    CONTROL_STREAM,
+                    MuxMsg::Ctrl(CtrlMsg::BatchServerFirst { answers, offers }),
+                ));
+                Ok(())
+            }
+            MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
+                for stream in streams {
+                    let server = self
+                        .streams
+                        .get_mut(&stream)
+                        .ok_or_else(|| BatchPullClient::unknown_stream(stream))?;
+                    server.on_receive(SessionMsg::Done)?;
+                }
+                Ok(())
+            }
+            MuxMsg::Session(msg) => {
+                let server = self
+                    .streams
+                    .get_mut(&framed.stream)
+                    .ok_or_else(|| BatchPullClient::unknown_stream(framed.stream))?;
+                server.on_receive(msg)
+            }
+            MuxMsg::Ctrl(other) => Err(Error::UnexpectedMessage {
+                protocol: "mux",
+                message: format!("{other:?} at server"),
+            }),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.seen_hello && self.outbox.is_empty() && self.streams.values().all(Endpoint::is_done)
+    }
+}
+
+/// Byte and latency accounting for one batched contact, attributed per
+/// the paper's cost model: comparison/`SYNCS` metadata, state-transfer
+/// payload, and connection framing (headers, stream ids, object names).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContactReport {
+    /// Blocking dependency depth of the contact under §3.1 pipelining:
+    /// one for the batched comparison exchange (`BatchHello` →
+    /// `BatchServerFirst`), plus one more iff any stream went on to
+    /// request a state transfer — the streams progress concurrently, so
+    /// their `PayloadRequest`s overlap into a single extra round trip.
+    /// Fire-and-forget frames (`BatchDone`, `SKIP`, speculative `SYNCS`
+    /// elements) add none.
+    pub round_trips: u64,
+    /// Comparison bytes: the per-stream first elements, verdict flags and
+    /// coalesced `Done`s carried by the control stream (Algorithm 1's
+    /// O(1)-per-object exchange).
+    pub compare_bytes: u64,
+    /// `SYNCS` metadata bytes on the per-object streams (both directions).
+    pub meta_bytes: u64,
+    /// Connection framing overhead: frame headers, stream ids, names.
+    pub framing_bytes: u64,
+    /// State-transfer payload bytes.
+    pub payload_bytes: u64,
+    /// Every byte on the wire (`compare + meta + framing + payload`).
+    pub total_bytes: u64,
+    /// Number of frames exchanged.
+    pub frames: u64,
+}
+
+impl ContactReport {
+    fn account(&mut self, framed: &Framed<MuxMsg>) {
+        let total = framed.encoded_len() as u64;
+        self.total_bytes += total;
+        self.frames += 1;
+        match &framed.msg {
+            MuxMsg::Ctrl(CtrlMsg::BatchHello { opens, .. }) => {
+                let compare = opens
+                    .iter()
+                    .map(|o| opt_elem_len(&o.first) as u64)
+                    .sum::<u64>();
+                self.compare_bytes += compare;
+                self.framing_bytes += total - compare;
+            }
+            MuxMsg::Ctrl(CtrlMsg::BatchServerFirst { answers, offers }) => {
+                let compare = answers
+                    .iter()
+                    .map(|a| opt_elem_len(&a.first) as u64 + 1)
+                    .sum::<u64>()
+                    + offers
+                        .iter()
+                        .map(|o| opt_elem_len(&o.first) as u64 + 1)
+                        .sum::<u64>();
+                self.compare_bytes += compare;
+                self.framing_bytes += total - compare;
+            }
+            MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
+                let compare = streams.len() as u64;
+                self.compare_bytes += compare;
+                self.framing_bytes += total - compare;
+            }
+            MuxMsg::Session(SessionMsg::Payload { data }) => {
+                self.payload_bytes += data.len() as u64;
+                self.framing_bytes += total - data.len() as u64;
+            }
+            MuxMsg::Session(inner) => {
+                let meta = inner.encoded_len() as u64;
+                self.meta_bytes += meta;
+                self.framing_bytes += total - meta;
+            }
+        }
+    }
+}
+
+/// Drives one batched contact to completion in lockstep (zero-latency
+/// regime): the client flushes a whole burst, then the server answers one
+/// frame at a time so `Done` cancellations land before speculative
+/// elements flood the wire — the same regime the single-object session
+/// tests use, which keeps per-object `Δ`/`Γ`/`γ` identical to the
+/// single-object path.
+///
+/// # Errors
+///
+/// Returns [`Error::Incomplete`] if both endpoints stall before
+/// completion.
+pub fn run_contact(
+    client: &mut BatchPullClient,
+    server: &mut BatchPullServer,
+) -> Result<ContactReport> {
+    let mut report = ContactReport::default();
+    // Round trips are the blocking dependency depth, not the burst count:
+    // the streams run concurrently, so however the lockstep loop trickles
+    // their `PayloadRequest`s out, they all overlap into one extra
+    // exchange after the batched comparison.
+    let mut payload_requested = false;
+    loop {
+        let mut progress = false;
+        while let Some(framed) = client.poll_send() {
+            report.account(&framed);
+            match framed.msg {
+                MuxMsg::Ctrl(CtrlMsg::BatchHello { .. }) => report.round_trips += 1,
+                MuxMsg::Session(SessionMsg::PayloadRequest) => payload_requested = true,
+                _ => {}
+            }
+            server.on_receive(framed)?;
+            progress = true;
+        }
+        if let Some(framed) = server.poll_send() {
+            report.account(&framed);
+            client.on_receive(framed)?;
+            progress = true;
+        }
+        if client.is_done() && server.is_done() {
+            report.round_trips += u64::from(payload_requested);
+            return Ok(report);
+        }
+        if !progress {
+            return Err(Error::Incomplete {
+                protocol: "mux contact",
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optrep_core::RotatingVector;
+
+    fn s(i: u32) -> SiteId {
+        SiteId::new(i)
+    }
+
+    fn name(i: usize) -> Bytes {
+        Bytes::from(format!("obj{i}").into_bytes())
+    }
+
+    fn vec_with(updates: &[u32]) -> Srv {
+        let mut v = Srv::new();
+        for &i in updates {
+            RotatingVector::record_update(&mut v, s(i));
+        }
+        v
+    }
+
+    #[test]
+    fn ctrl_msgs_roundtrip() {
+        let msgs = [
+            MuxMsg::Ctrl(CtrlMsg::BatchHello {
+                discover: true,
+                opens: vec![
+                    StreamOpen {
+                        stream: 1,
+                        name: Bytes::from_static(b"a"),
+                        first: Some((s(3), 7)),
+                    },
+                    StreamOpen {
+                        stream: 2,
+                        name: Bytes::from_static(b""),
+                        first: None,
+                    },
+                ],
+            }),
+            MuxMsg::Ctrl(CtrlMsg::BatchServerFirst {
+                answers: vec![
+                    StreamAnswer {
+                        stream: 1,
+                        missing: false,
+                        first: Some((s(1), 2)),
+                        client_known: true,
+                        client_equal: false,
+                    },
+                    StreamAnswer {
+                        stream: 2,
+                        missing: true,
+                        first: None,
+                        client_known: false,
+                        client_equal: false,
+                    },
+                ],
+                offers: vec![StreamOffer {
+                    stream: 3,
+                    name: Bytes::from_static(b"new"),
+                    first: Some((s(9), 1)),
+                    client_equal: false,
+                }],
+            }),
+            MuxMsg::Ctrl(CtrlMsg::BatchDone {
+                streams: vec![1, 300],
+            }),
+            MuxMsg::Session(SessionMsg::Done),
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(bytes.len(), m.encoded_len(), "{m:?}");
+            let mut buf = bytes;
+            assert_eq!(MuxMsg::decode(&mut buf).unwrap(), m);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn framed_mux_roundtrip() {
+        let framed = Framed::new(4, MuxMsg::Session(SessionMsg::PayloadRequest));
+        let bytes = framed.to_bytes();
+        assert_eq!(bytes.len(), framed.encoded_len());
+        let mut buf = bytes;
+        assert_eq!(Framed::<MuxMsg>::decode(&mut buf).unwrap(), framed);
+    }
+
+    #[test]
+    fn all_clean_contact_takes_one_blocking_round_trip() {
+        let n = 8;
+        let vectors: Vec<Srv> = (0..n).map(|i| vec_with(&[i as u32, 7])).collect();
+        let mut client = BatchPullClient::new(
+            vectors
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (name(i), v.clone())),
+        );
+        let mut server = BatchPullServer::new(
+            vectors
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (name(i), v.clone(), Bytes::from_static(b"state"))),
+        );
+        let report = run_contact(&mut client, &mut server).unwrap();
+        assert_eq!(report.round_trips, 1, "only the BatchHello blocks");
+        assert_eq!(report.payload_bytes, 0);
+        let results = client.finish();
+        assert_eq!(results.len(), n);
+        for r in &results {
+            let outcome = r.outcome.as_ref().unwrap();
+            assert_eq!(outcome.relation, optrep_core::Causality::Equal);
+            assert!(outcome.payload.is_none());
+            assert_eq!(outcome.stats.elements_received, 0, "no elements flowed");
+        }
+    }
+
+    #[test]
+    fn dirty_stream_matches_single_object_path() {
+        // One object diverged concurrently; its per-stream outcome must be
+        // byte-for-byte what the dedicated single-object session produces.
+        let base = vec_with(&[0, 1, 2, 3, 4, 5]);
+        let mut theirs = base.clone();
+        RotatingVector::record_update(&mut theirs, s(0));
+        RotatingVector::record_update(&mut theirs, s(1));
+        let mut ours = base.clone();
+        RotatingVector::record_update(&mut ours, s(9));
+
+        // Reference: the single-object path, in the same lockstep regime.
+        let mut ref_client = PullClient::new(ours.clone());
+        let mut ref_server = PullServer::new(theirs.clone(), Bytes::from_static(b"their state"));
+        loop {
+            while let Some(m) = ref_client.poll_send() {
+                ref_server.on_receive(m).unwrap();
+            }
+            if let Some(m) = ref_server.poll_send() {
+                ref_client.on_receive(m).unwrap();
+            }
+            if ref_client.is_done() && ref_server.is_done() {
+                break;
+            }
+        }
+        let reference = ref_client.finish();
+
+        // Batched: the dirty object rides with seven clean ones.
+        let clean: Vec<Srv> = (0..7).map(|i| vec_with(&[i as u32 + 20])).collect();
+        let mut objects = vec![(name(0), ours)];
+        objects.extend(
+            clean
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (name(i + 1), v.clone())),
+        );
+        let mut server_objects = vec![(name(0), theirs, Bytes::from_static(b"their state"))];
+        server_objects.extend(
+            clean
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (name(i + 1), v.clone(), Bytes::from_static(b"clean"))),
+        );
+        let mut client = BatchPullClient::new(objects);
+        let mut server = BatchPullServer::new(server_objects);
+        run_contact(&mut client, &mut server).unwrap();
+        let results = client.finish();
+        let dirty = results.iter().find(|r| r.name == name(0)).unwrap();
+        let outcome = dirty.outcome.as_ref().unwrap();
+
+        assert_eq!(outcome.relation, reference.relation);
+        assert_eq!(outcome.stats, reference.stats, "Δ/Γ/γ must match");
+        assert_eq!(outcome.payload, reference.payload);
+        assert_eq!(
+            outcome.vector.to_version_vector(),
+            reference.vector.to_version_vector()
+        );
+        for r in &results {
+            if r.name != name(0) {
+                let o = r.outcome.as_ref().unwrap();
+                assert_eq!(o.relation, optrep_core::Causality::Equal);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_and_discovered_objects() {
+        // Client names one object the server lacks; server holds one the
+        // client never heard of.
+        let shared = vec_with(&[1]);
+        let mut client = BatchPullClient::new(vec![
+            (Bytes::from_static(b"shared"), shared.clone()),
+            (Bytes::from_static(b"mine-only"), vec_with(&[2])),
+        ]);
+        let fresh = vec_with(&[3, 4]);
+        let mut server = BatchPullServer::new(vec![
+            (
+                Bytes::from_static(b"shared"),
+                shared,
+                Bytes::from_static(b"s"),
+            ),
+            (
+                Bytes::from_static(b"theirs-only"),
+                fresh.clone(),
+                Bytes::from_static(b"fresh state"),
+            ),
+        ]);
+        run_contact(&mut client, &mut server).unwrap();
+        let results = client.finish();
+        assert_eq!(results.len(), 3);
+
+        let missing = results
+            .iter()
+            .find(|r| r.name == Bytes::from_static(b"mine-only"))
+            .unwrap();
+        assert!(missing.outcome.is_none());
+
+        let discovered = results
+            .iter()
+            .find(|r| r.name == Bytes::from_static(b"theirs-only"))
+            .unwrap();
+        assert!(discovered.discovered);
+        let outcome = discovered.outcome.as_ref().unwrap();
+        assert_eq!(outcome.relation, optrep_core::Causality::Before);
+        assert_eq!(outcome.payload.as_deref(), Some(&b"fresh state"[..]));
+        assert_eq!(
+            outcome.vector.to_version_vector(),
+            fresh.to_version_vector()
+        );
+    }
+
+    #[test]
+    fn no_discovery_leaves_server_objects_alone() {
+        let mut client =
+            BatchPullClient::without_discovery(vec![(Bytes::from_static(b"a"), vec_with(&[1]))]);
+        let mut server = BatchPullServer::new(vec![
+            (Bytes::from_static(b"a"), vec_with(&[1]), Bytes::new()),
+            (Bytes::from_static(b"b"), vec_with(&[2]), Bytes::new()),
+        ]);
+        run_contact(&mut client, &mut server).unwrap();
+        assert_eq!(client.finish().len(), 1);
+    }
+
+    #[test]
+    fn byte_attribution_adds_up() {
+        let mut client =
+            BatchPullClient::new(vec![(name(0), vec_with(&[1])), (name(1), vec_with(&[2]))]);
+        let mut server = BatchPullServer::new(vec![
+            (name(0), vec_with(&[1]), Bytes::from_static(b"x")),
+            (name(1), vec_with(&[2, 3]), Bytes::from_static(b"bigger")),
+        ]);
+        let report = run_contact(&mut client, &mut server).unwrap();
+        assert_eq!(
+            report.total_bytes,
+            report.compare_bytes + report.meta_bytes + report.framing_bytes + report.payload_bytes
+        );
+        assert!(report.compare_bytes > 0);
+        assert!(report.payload_bytes >= 6, "dirty object ships its state");
+        assert!(report.frames >= 4);
+    }
+}

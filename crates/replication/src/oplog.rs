@@ -12,12 +12,12 @@
 //! smallest [`NodeId`] first), so any two replicas with equal graphs
 //! materialize identically.
 
+use bytes::{Bytes, BytesMut};
 use optrep_core::error::WireError;
 use optrep_core::graph::full::sync_graph_full_with_payloads;
 use optrep_core::graph::{CausalGraph, GraphReport, NodeId, SyncGReceiver, SyncGSender};
 use optrep_core::sync::{SyncOptions, TickHarness};
 use optrep_core::{wire, Causality, Error, Result, SiteId};
-use bytes::{Bytes, BytesMut};
 use std::collections::{BTreeSet, HashMap};
 
 /// A replica in an operation-transfer system: an operation log plus the
@@ -332,7 +332,11 @@ mod tests {
         // a's head unchanged; the merge op reconciles.
         let merge = a.reconcile(b.head().unwrap(), "merge");
         assert_eq!(a.head(), Some(merge));
-        assert!(a.graph().validate().is_empty(), "{:?}", a.graph().validate());
+        assert!(
+            a.graph().validate().is_empty(),
+            "{:?}",
+            a.graph().validate()
+        );
         // b then fast-forwards to a's merged history.
         let (_, relation) = b.sync_from(&a).unwrap();
         assert_eq!(relation, Causality::Before);

@@ -7,6 +7,9 @@
 //! tokens, one added per update, whose union is a convergent merge — so
 //! eventual consistency is checkable by simple equality.
 
+use bytes::{Bytes, BytesMut};
+use optrep_core::error::WireError;
+use optrep_core::wire;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -15,6 +18,26 @@ use std::sync::Arc;
 pub trait ReplicaPayload: Clone + Eq + fmt::Debug {
     /// Number of bytes a whole-state transfer of this payload costs.
     fn encoded_len(&self) -> usize;
+}
+
+/// A payload that can actually be serialized onto the wire.
+///
+/// [`ReplicaPayload`] only *accounts* for transfer size; the multiplexed
+/// contact engine ([`crate::mux`]) ships real bytes, so payloads it
+/// carries must round-trip through a wire encoding whose length matches
+/// [`ReplicaPayload::encoded_len`].
+pub trait WirePayload: ReplicaPayload {
+    /// Serializes the payload; the result is exactly
+    /// [`encoded_len`](ReplicaPayload::encoded_len) bytes.
+    fn encode_payload(&self) -> Bytes;
+
+    /// Decodes a payload previously produced by
+    /// [`encode_payload`](Self::encode_payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated or malformed input.
+    fn decode_payload(buf: &mut Bytes) -> std::result::Result<Self, WireError>;
 }
 
 /// A set of opaque string tokens — the canonical test payload.
@@ -117,6 +140,28 @@ impl ReplicaPayload for TokenSet {
     }
 }
 
+impl WirePayload for TokenSet {
+    fn encode_payload(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        wire::put_varint(&mut buf, self.len() as u64);
+        for token in self.iter() {
+            wire::put_bytes(&mut buf, token.as_bytes());
+        }
+        buf.freeze()
+    }
+
+    fn decode_payload(buf: &mut Bytes) -> std::result::Result<Self, WireError> {
+        let count = wire::get_varint(buf)? as usize;
+        let mut set = TokenSet::new();
+        for _ in 0..count {
+            let raw = wire::get_bytes(buf)?;
+            let token = String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidPayload)?;
+            set.insert(token);
+        }
+        Ok(set)
+    }
+}
+
 impl fmt::Display for TokenSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
@@ -196,6 +241,33 @@ mod tests {
         p.insert("b");
         p.insert("a");
         assert_eq!(p.to_string(), "{a, b}");
+    }
+
+    #[test]
+    fn wire_payload_roundtrips_at_advertised_size() {
+        let p: TokenSet = (0..40).map(|i| format!("site{}:{}", i % 7, i)).collect();
+        let encoded = p.encode_payload();
+        assert_eq!(encoded.len(), p.encoded_len(), "size accounting is honest");
+        let mut buf = encoded;
+        let decoded = TokenSet::decode_payload(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(decoded, p);
+
+        let empty = TokenSet::new();
+        let mut buf = empty.encode_payload();
+        assert_eq!(TokenSet::decode_payload(&mut buf).unwrap(), empty);
+    }
+
+    #[test]
+    fn wire_payload_rejects_bad_utf8() {
+        let mut buf = BytesMut::new();
+        wire::put_varint(&mut buf, 1);
+        wire::put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            TokenSet::decode_payload(&mut bytes),
+            Err(WireError::InvalidPayload)
+        );
     }
 
     #[test]

@@ -30,9 +30,7 @@ use crate::meta::ReplicaMeta;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use optrep_core::error::{Error, Result, WireError};
 use optrep_core::sync::sender::VectorSender;
-use optrep_core::sync::{
-    Endpoint, Msg, ProtocolMsg, ReceiverStats, SyncSReceiver, WireMsg,
-};
+use optrep_core::sync::{Endpoint, Msg, ProtocolMsg, ReceiverStats, SyncSReceiver, WireMsg};
 use optrep_core::{wire, Causality, RotatingVector, SiteId, Srv};
 use std::collections::VecDeque;
 
@@ -73,7 +71,7 @@ const TAG_PAYLOAD_REQUEST: u8 = 0x24;
 const TAG_PAYLOAD: u8 = 0x25;
 const TAG_DONE: u8 = 0x26;
 
-fn put_opt_elem(buf: &mut BytesMut, elem: &Option<(SiteId, u64)>) {
+pub(crate) fn put_opt_elem(buf: &mut BytesMut, elem: &Option<(SiteId, u64)>) {
     match elem {
         Some((site, value)) => {
             buf.put_u8(1);
@@ -84,7 +82,9 @@ fn put_opt_elem(buf: &mut BytesMut, elem: &Option<(SiteId, u64)>) {
     }
 }
 
-fn get_opt_elem(buf: &mut Bytes) -> std::result::Result<Option<(SiteId, u64)>, WireError> {
+pub(crate) fn get_opt_elem(
+    buf: &mut Bytes,
+) -> std::result::Result<Option<(SiteId, u64)>, WireError> {
     if !buf.has_remaining() {
         return Err(WireError::UnexpectedEof);
     }
@@ -96,7 +96,7 @@ fn get_opt_elem(buf: &mut Bytes) -> std::result::Result<Option<(SiteId, u64)>, W
     Ok(Some((site, value)))
 }
 
-fn opt_elem_len(elem: &Option<(SiteId, u64)>) -> usize {
+pub(crate) fn opt_elem_len(elem: &Option<(SiteId, u64)>) -> usize {
     1 + elem
         .map(|(s, v)| wire::varint_len(u64::from(s.index())) + wire::varint_len(v))
         .unwrap_or(0)
@@ -244,9 +244,7 @@ impl Endpoint for PullServer {
                 }
                 let (client_known, client_equal) = match first {
                     None => (true, self.vector.is_empty()),
-                    Some((la, ua)) => {
-                        (ua <= self.vector.value(la), ua == self.vector.value(la))
-                    }
+                    Some((la, ua)) => (ua <= self.vector.value(la), ua == self.vector.value(la)),
                 };
                 self.outbox.push_back(SessionMsg::ServerFirst {
                     first: self.vector.first().map(|e| (e.site, e.value)),
@@ -438,9 +436,8 @@ impl Endpoint for PullClient {
                         self.state = ClientState::Done;
                     }
                     Causality::Before | Causality::Concurrent => {
-                        self.state = ClientState::Vector(Box::new(SyncSReceiver::new(
-                            vector, relation,
-                        )));
+                        self.state =
+                            ClientState::Vector(Box::new(SyncSReceiver::new(vector, relation)));
                     }
                 }
                 Ok(())
@@ -484,11 +481,7 @@ impl Endpoint for PullClient {
 /// Applies a finished pull to the puller's replica payload, returning the
 /// new payload: overwrite on fast-forward, `merge` on reconciliation
 /// (caller must then record the Parker §C increment on the vector).
-pub fn apply_pull<FMerge>(
-    outcome: &PullOutcome,
-    ours: &Bytes,
-    merge: FMerge,
-) -> Bytes
+pub fn apply_pull<FMerge>(outcome: &PullOutcome, ours: &Bytes, merge: FMerge) -> Bytes
 where
     FMerge: FnOnce(&Bytes, &Bytes) -> Bytes,
 {

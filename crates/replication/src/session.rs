@@ -64,9 +64,7 @@ impl SessionReport {
 
     /// Total bytes the session put on the wire.
     pub fn total_bytes(&self) -> usize {
-        self.compare_bytes
-            + self.meta.map(|m| m.total_bytes()).unwrap_or(0)
-            + self.payload_bytes
+        self.compare_bytes + self.meta.map(|m| m.total_bytes()).unwrap_or(0) + self.payload_bytes
     }
 }
 
@@ -231,7 +229,10 @@ mod tests {
         let report = sync_replica(&mut b, &a, obj(), &UnionReconciler, opts()).unwrap();
         assert_eq!(report.outcome, Outcome::ReplicaCreated);
         assert!(report.payload_bytes > 0);
-        assert_eq!(b.replica(obj()).unwrap().payload, a.replica(obj()).unwrap().payload);
+        assert_eq!(
+            b.replica(obj()).unwrap().payload,
+            a.replica(obj()).unwrap().payload
+        );
     }
 
     #[test]

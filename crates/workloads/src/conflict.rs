@@ -12,8 +12,8 @@
 //! (the `Γ` term grows with the rate); SRV skips each known segment after
 //! its first element, keeping communication near `|Δ| + γ`.
 
-use optrep_replication::{Cluster, ClusterStats, ObjectId, ReplicaMeta, TokenSet, UnionReconciler};
 use optrep_core::{Result, SiteId};
+use optrep_replication::{Cluster, ClusterStats, ObjectId, ReplicaMeta, TokenSet, UnionReconciler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -7,8 +7,8 @@
 //! metadata scheme and reports aggregate costs — the workhorse of
 //! experiments T1, E3 and E5.
 
-use optrep_replication::{Cluster, ObjectId, ReplicaMeta, TokenSet, UnionReconciler};
 use optrep_core::{Result, SiteId};
+use optrep_replication::{Cluster, ObjectId, ReplicaMeta, TokenSet, UnionReconciler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -151,8 +151,7 @@ pub fn replay<M: ReplicaMeta>(
     events: &[Event],
 ) -> Result<(Cluster<M, TokenSet, UnionReconciler>, ReplayStats)> {
     let object = ObjectId::new(0);
-    let mut cluster: Cluster<M, TokenSet, UnionReconciler> =
-        Cluster::new(sites, UnionReconciler);
+    let mut cluster: Cluster<M, TokenSet, UnionReconciler> = Cluster::new(sites, UnionReconciler);
     cluster
         .site_mut(SiteId::new(0))
         .create_object(object, TokenSet::singleton("init"));

@@ -34,9 +34,10 @@ fn run_store<M: ReplicaMeta>(seed: u64) -> Cluster<M, TokenSet, UnionReconciler>
     let mut freshest: Vec<SiteId> = Vec::new();
     for f in 0..FILES {
         let origin = SiteId::new((f % u64::from(SITES)) as u32);
-        cluster
-            .site_mut(origin)
-            .create_object(ObjectId::new(f), TokenSet::singleton(format!("file{f}:header")));
+        cluster.site_mut(origin).create_object(
+            ObjectId::new(f),
+            TokenSet::singleton(format!("file{f}:header")),
+        );
         freshest.push(origin);
     }
 
@@ -122,7 +123,10 @@ fn main() {
         f.payload_bytes,
         f.reconciliations
     );
-    let (srv_cc, full_cc) = (s.meta_bytes + s.compare_bytes, f.meta_bytes + f.compare_bytes);
+    let (srv_cc, full_cc) = (
+        s.meta_bytes + s.compare_bytes,
+        f.meta_bytes + f.compare_bytes,
+    );
     println!(
         "\nconcurrency-control traffic: SRV {srv_cc} B vs FULL {full_cc} B — {:.2}× less",
         full_cc as f64 / srv_cc as f64
@@ -135,7 +139,10 @@ fn main() {
     // Show one converged file.
     let file0 = ObjectId::new(0);
     let payload = &srv.site(SiteId::new(0)).replica(file0).unwrap().payload;
-    println!("\nfile0 has {} lines on every replica; first lines:", payload.len());
+    println!(
+        "\nfile0 has {} lines on every replica; first lines:",
+        payload.len()
+    );
     for line in payload.iter().take(4) {
         println!("  {line}");
     }

@@ -64,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snapshot = tablet.encode_snapshot();
     let restored = KvStore::decode_snapshot(&mut snapshot)?;
     assert!(restored.consistent_with(&tablet));
-    println!("\nsnapshot round-trip OK ({} tracked entries)", restored.tracked_entries());
+    println!(
+        "\nsnapshot round-trip OK ({} tracked entries)",
+        restored.tracked_entries()
+    );
     Ok(())
 }

@@ -28,8 +28,7 @@ const UPDATE_PROB: f64 = 0.6;
 fn run_network<M: ReplicaMeta>() -> (optrep::replication::ClusterStats, usize) {
     let mut rng = StdRng::seed_from_u64(7);
     let object = ObjectId::new(0);
-    let mut cluster: Cluster<M, TokenSet, UnionReconciler> =
-        Cluster::new(DEVICES, UnionReconciler);
+    let mut cluster: Cluster<M, TokenSet, UnionReconciler> = Cluster::new(DEVICES, UnionReconciler);
     cluster
         .site_mut(SiteId::new(0))
         .create_object(object, TokenSet::singleton("incident-log"));
@@ -102,5 +101,8 @@ fn main() {
         full_total as f64 / srv_total as f64
     );
     println!("(FULL ships the whole {writers}-element vector on every contact; SRV ships |Δ|+1)");
-    assert!(srv_total * 2 < full_total, "SRV must clearly beat FULL here");
+    assert!(
+        srv_total * 2 < full_total,
+        "SRV must clearly beat FULL here"
+    );
 }

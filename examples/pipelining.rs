@@ -21,7 +21,11 @@ fn run(k: u32, flow: FlowControl, cfg: SimConfig, receiver_knows_all: bool) -> S
     for i in 0..k {
         b.record_update(SiteId::new(i));
     }
-    let a = if receiver_knows_all { b.clone() } else { Brv::new() };
+    let a = if receiver_knows_all {
+        b.clone()
+    } else {
+        Brv::new()
+    };
     let relation = a.compare(&b);
     let tx = VectorSender::with_flow(b, flow);
     let rx = SyncBReceiver::with_flow(a, relation, flow).expect("comparable");

@@ -7,9 +7,9 @@
 //! cargo run --example quickstart
 //! ```
 
+use optrep::core::sync::SyncOptions;
 use optrep::core::{Causality, RotatingVector, SiteId};
 use optrep::replication::{sync_replica, ObjectId, Site, TokenSet, UnionReconciler};
-use optrep::core::sync::SyncOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let object = ObjectId::new(1);
@@ -23,9 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Replicate to B and C (initial replication ships the whole state).
     let r = sync_replica(&mut b, &a, object, &UnionReconciler, opts)?;
-    println!("A→B initial replication: {:?}, {} payload bytes", r.outcome, r.payload_bytes);
+    println!(
+        "A→B initial replication: {:?}, {} payload bytes",
+        r.outcome, r.payload_bytes
+    );
     let r = sync_replica(&mut c, &a, object, &UnionReconciler, opts)?;
-    println!("A→C initial replication: {:?}, {} payload bytes", r.outcome, r.payload_bytes);
+    println!(
+        "A→C initial replication: {:?}, {} payload bytes",
+        r.outcome, r.payload_bytes
+    );
 
     // A and B update concurrently: a syntactic conflict.
     a.update(object, |p| {
@@ -39,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(va.compare(vb), Causality::Concurrent);
     println!("\nA's vector: {va}");
     println!("B's vector: {vb}");
-    println!("COMPARE says: {} (detected from the first elements alone)", va.compare(vb));
+    println!(
+        "COMPARE says: {} (detected from the first elements alone)",
+        va.compare(vb)
+    );
 
     // B pulls from A: automatic reconciliation (union merge + Parker §C
     // increment), costing only the differing elements.

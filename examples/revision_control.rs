@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The merged log materializes identically everywhere.
     assert_eq!(alice.materialize(), bob.materialize());
-    println!("\nfinal log ({} commits, identical on both sides); last entries:", alice.len());
+    println!(
+        "\nfinal log ({} commits, identical on both sides); last entries:",
+        alice.len()
+    );
     for op in alice.materialize().iter().rev().take(4).rev() {
         println!("  {}", String::from_utf8_lossy(op));
     }

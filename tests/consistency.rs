@@ -127,7 +127,9 @@ fn brv_conflicts_are_excluded_and_manually_resolvable() {
     let mut cluster: Cluster<optrep::core::Brv, TokenSet, UnionReconciler> =
         Cluster::new(2, UnionReconciler);
     let (a, b) = (SiteId::new(0), SiteId::new(1));
-    cluster.site_mut(a).create_object(obj(), TokenSet::singleton("init"));
+    cluster
+        .site_mut(a)
+        .create_object(obj(), TokenSet::singleton("init"));
     cluster.sync(b, a, obj()).expect("replicate");
     cluster.site_mut(a).update(obj(), |p| {
         p.insert("A");

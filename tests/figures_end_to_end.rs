@@ -54,7 +54,11 @@ fn figure1_as_operation_transfer_replicas() {
     let node9 = h.reconcile(c.head().expect("c head"), "9");
 
     assert_eq!(h.len(), 9, "all nine nodes of Figure 1");
-    assert!(h.graph().validate().is_empty(), "{:?}", h.graph().validate());
+    assert!(
+        h.graph().validate().is_empty(),
+        "{:?}",
+        h.graph().validate()
+    );
     assert_eq!(h.head(), Some(node9));
     assert!(h.graph().ancestors(node9).contains(&node7));
 

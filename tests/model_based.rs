@@ -9,7 +9,9 @@
 
 use optrep::core::sync::drive::{sync_brv, sync_crv, sync_srv};
 use optrep::core::sync::SyncReport;
-use optrep::core::{Brv, Causality, Crv, Error, Result, RotatingVector, SiteId, Srv, VersionVector};
+use optrep::core::{
+    Brv, Causality, Crv, Error, Result, RotatingVector, SiteId, Srv, VersionVector,
+};
 use proptest::prelude::*;
 
 /// One step of a legal multi-replica trace.

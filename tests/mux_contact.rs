@@ -1,0 +1,161 @@
+//! Acceptance test for the multiplexed contact engine: batching all
+//! first-element comparisons of a many-object anti-entropy pull into one
+//! framed connection amortizes the round trip over every object, so a
+//! mostly-clean pull finishes in a constant number of round trips where
+//! the per-object approach pays one connection (≥ 1 rtt) per object —
+//! while the per-object `SYNCS` accounting (Δ/Γ/γ) stays byte-identical
+//! to a dedicated single-object session.
+
+use bytes::Bytes;
+use optrep::core::sync::Endpoint;
+use optrep::core::{RotatingVector, SiteId, Srv};
+use optrep::net::mem::run_pair_stream;
+use optrep::net::sim::{SimConfig, SimLink};
+use optrep::replication::{BatchPullClient, BatchPullServer, PullClient, PullServer};
+
+const OBJECTS: usize = 256;
+const DIRTY: usize = 7;
+
+fn s(i: u32) -> SiteId {
+    SiteId::new(i)
+}
+
+fn name(i: usize) -> Bytes {
+    Bytes::from(format!("obj{i:04}").into_bytes())
+}
+
+/// Client-side `(name, vector)` and server-side `(name, vector, payload)`
+/// object sets for one contact.
+type Objects = (Vec<(Bytes, Srv)>, Vec<(Bytes, Srv, Bytes)>);
+
+/// Builds the scenario: 256 shared objects, all replicas identical except
+/// one where the server has an extra update the client must pull.
+fn scenario() -> Objects {
+    let mut client_objects = Vec::with_capacity(OBJECTS);
+    let mut server_objects = Vec::with_capacity(OBJECTS);
+    for i in 0..OBJECTS {
+        let mut v = Srv::new();
+        for u in 0..(3 + i % 5) {
+            v.record_update(s((u % 4) as u32));
+        }
+        client_objects.push((name(i), v.clone()));
+        let mut sv = v;
+        if i == DIRTY {
+            sv.record_update(s(9));
+        }
+        server_objects.push((name(i), sv, Bytes::from(format!("state-{i}").into_bytes())));
+    }
+    (client_objects, server_objects)
+}
+
+/// A 5 ms symmetric link (10 ms rtt), infinite bandwidth.
+fn cfg() -> SimConfig {
+    SimConfig::symmetric(5_000_000, None)
+}
+
+#[test]
+fn batched_pull_finishes_in_constant_round_trips() {
+    let (client_objects, server_objects) = scenario();
+    let client = BatchPullClient::new(client_objects);
+    let server = BatchPullServer::new(server_objects);
+    let mut link = SimLink::new(client, server, cfg());
+    let report = link.run().expect("batched contact over sim link");
+
+    // The whole 256-object pull — comparison, one dirty `SYNCS`, payload
+    // transfer — rides three blocking exchanges at most.
+    assert!(
+        report.duration_ns <= 3 * cfg().rtt(),
+        "batched pull took {} ns, expected ≤ 3 × rtt = {} ns",
+        report.duration_ns,
+        3 * cfg().rtt()
+    );
+
+    // Every stream settled; only the dirty one shipped state.
+    let (client, _) = link.into_parts();
+    assert!(client.is_done());
+    let results = client.finish();
+    assert_eq!(results.len(), OBJECTS);
+    let transferred: Vec<_> = results
+        .iter()
+        .filter(|r| r.outcome.as_ref().is_some_and(|o| o.payload.is_some()))
+        .collect();
+    assert_eq!(transferred.len(), 1, "only the dirty object ships state");
+    assert_eq!(transferred[0].name, name(DIRTY));
+}
+
+#[test]
+fn per_object_sessions_pay_a_round_trip_each() {
+    let (client_objects, server_objects) = scenario();
+    let mut total_ns = 0u64;
+    for ((_, cv), (_, sv, payload)) in client_objects.into_iter().zip(server_objects) {
+        let client = PullClient::new(cv);
+        let server = PullServer::new(sv, payload);
+        let mut link = SimLink::new(client, server, cfg());
+        let report = link.run().expect("per-object session over sim link");
+        total_ns += report.duration_ns;
+    }
+    // One connection per object: at least the comparison round trip each.
+    assert!(
+        total_ns >= OBJECTS as u64 * cfg().rtt(),
+        "per-object total {} ns, expected ≥ 256 × rtt = {} ns",
+        total_ns,
+        OBJECTS as u64 * cfg().rtt()
+    );
+}
+
+#[test]
+fn dirty_stream_accounting_matches_dedicated_session() {
+    let (client_objects, server_objects) = scenario();
+    let (_, dirty_client) = client_objects[DIRTY].clone();
+    let (_, dirty_server, dirty_payload) = server_objects[DIRTY].clone();
+
+    // Dedicated single-object session over the same link.
+    let client = PullClient::new(dirty_client);
+    let server = PullServer::new(dirty_server, dirty_payload);
+    let mut link = SimLink::new(client, server, cfg());
+    link.run().expect("dedicated session");
+    let (client, _) = link.into_parts();
+    let dedicated = client.finish();
+
+    // The same object as one stream among 256 in a batched contact.
+    let client = BatchPullClient::new(client_objects);
+    let server = BatchPullServer::new(server_objects);
+    let mut link = SimLink::new(client, server, cfg());
+    link.run().expect("batched contact");
+    let (client, _) = link.into_parts();
+    let muxed = client
+        .finish()
+        .into_iter()
+        .find(|r| r.name == name(DIRTY))
+        .expect("dirty stream present")
+        .outcome
+        .expect("dirty stream ran a session");
+
+    assert_eq!(muxed.relation, dedicated.relation);
+    assert_eq!(muxed.payload, dedicated.payload);
+    assert_eq!(
+        muxed.vector.to_version_vector(),
+        dedicated.vector.to_version_vector()
+    );
+    assert_eq!(muxed.stats.delta, dedicated.stats.delta, "Δ unchanged");
+    assert_eq!(muxed.stats.gamma, dedicated.stats.gamma, "Γ unchanged");
+    assert_eq!(muxed.stats.skips, dedicated.stats.skips, "γ unchanged");
+}
+
+#[test]
+fn batched_contact_survives_a_byte_stream_transport() {
+    // The same contact over the TCP-like chunked transport: frames split
+    // across 7-byte reads and reassembled by the frame decoder.
+    let (client_objects, server_objects) = scenario();
+    let client = BatchPullClient::new(client_objects);
+    let server = BatchPullServer::new(server_objects);
+    let (client, _, stats) = run_pair_stream(client, server, 7).expect("contact over byte stream");
+    let results = client.finish();
+    assert_eq!(results.len(), OBJECTS);
+    let shipped = results
+        .iter()
+        .filter(|r| r.outcome.as_ref().is_some_and(|o| o.payload.is_some()))
+        .count();
+    assert_eq!(shipped, 1);
+    assert!(stats.bytes_ab > 0 && stats.bytes_ba > 0);
+}

@@ -104,7 +104,10 @@ fn graph_sync_identical_across_transports() {
     for i in 1..50 {
         b.record_op(n(i));
     }
-    b.insert_remote(NodeId::of(s(1), 0), optrep::core::graph::Parents::one(n(10)));
+    b.insert_remote(
+        NodeId::of(s(1), 0),
+        optrep::core::graph::Parents::one(n(10)),
+    );
     b.record_merge(n(50), NodeId::of(s(1), 0));
     let mut a = CausalGraph::new();
     a.record_root(n(0));
