@@ -4,20 +4,45 @@
 //! tables all          # every experiment, in document order
 //! tables t2 e4 f2     # a selection
 //! tables --list       # available ids
+//! tables --check-jsonl <path>   # validate an event trace
 //! ```
 //!
 //! Each experiment additionally writes its tables to `BENCH_<id>.json`
 //! (one JSON array of `{title, headers, rows, notes}` objects) in the
 //! current directory, so the performance trajectory is machine-trackable
 //! across revisions.
+//!
+//! With the `obs` feature enabled, setting `OPTREP_OBS_JSONL=<path>`
+//! streams every sync event of the run to `<path>` as JSONL (see
+//! `optrep_core::obs::JsonlSink`); render it with the `timeline` binary
+//! or validate it with `--check-jsonl`.
+
+use std::collections::BTreeMap;
 
 use optrep_bench::experiments;
+use optrep_bench::jsonl::{self, Record};
 use optrep_bench::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check-jsonl") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("usage: tables --check-jsonl <events.jsonl>");
+            std::process::exit(2);
+        };
+        match check_jsonl(path) {
+            Ok(events) => {
+                println!("ok: {path}: {events} events, schema and invariants hold");
+                return;
+            }
+            Err(e) => {
+                eprintln!("check failed: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: tables [all | --list | <experiment id>...]");
+        eprintln!("usage: tables [all | --list | --check-jsonl <path> | <experiment id>...]");
         eprintln!("ids: {}", experiments::ALL.join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -43,6 +68,45 @@ fn main() {
         }
         ids
     };
+    run_traced(&ids);
+}
+
+/// Runs the selected experiments, wrapped in a `JsonlSink` when
+/// `OPTREP_OBS_JSONL` is set and the `obs` feature is on.
+fn run_traced(ids: &[&str]) {
+    match std::env::var("OPTREP_OBS_JSONL") {
+        Ok(path) if !path.is_empty() => {
+            #[cfg(feature = "obs")]
+            {
+                use optrep_core::obs;
+                let sink = match obs::JsonlSink::create(&path) {
+                    Ok(s) => std::sync::Arc::new(s),
+                    Err(e) => {
+                        eprintln!("cannot create {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                obs::with(sink.clone(), || run_experiments(ids));
+                if let Err(e) = sink.flush() {
+                    eprintln!("warning: could not flush {path}: {e}");
+                } else {
+                    eprintln!("wrote event trace to {path}");
+                }
+            }
+            #[cfg(not(feature = "obs"))]
+            {
+                eprintln!(
+                    "warning: OPTREP_OBS_JSONL is set but the `obs` feature is \
+                     disabled; no trace will be written"
+                );
+                run_experiments(ids);
+            }
+        }
+        _ => run_experiments(ids),
+    }
+}
+
+fn run_experiments(ids: &[&str]) {
     for id in ids {
         let tables = experiments::run(id);
         for table in &tables {
@@ -62,4 +126,197 @@ fn main() {
             Err(e) => eprintln!("warning: could not write {path}: {e}"),
         }
     }
+}
+
+/// Validates an event trace offline: every line parses, every event kind
+/// is known with the right field types, sessions and contacts pair up,
+/// and the `session_close` / `contact_end` totals match the per-event
+/// stream (the same identities `obs::CheckSink` asserts online).
+fn check_jsonl(path: &str) -> Result<usize, String> {
+    const KINDS: &[&str] = &[
+        "session_open",
+        "compare",
+        "element",
+        "conflict_bit",
+        "segment_skip",
+        "reconcile",
+        "session_close",
+        "graph_node",
+        "frame_tx",
+        "frame_rx",
+        "contact_begin",
+        "contact_end",
+        "gossip_round",
+        "link_bytes",
+        "link_excess",
+    ];
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let records = jsonl::parse_document(&text)?;
+    if records.is_empty() {
+        return Err("empty trace".to_string());
+    }
+
+    let need_u64 = |line: usize, rec: &Record, key: &str| -> Result<u64, String> {
+        rec.get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("line {line}: missing or non-integer field {key:?}"))
+    };
+
+    #[derive(Default)]
+    struct SessionCheck {
+        opened: bool,
+        closed: bool,
+        elements: u64,
+        known: u64,
+        skips: u64,
+    }
+    #[derive(Default)]
+    struct ContactCheck {
+        opened: bool,
+        closed: bool,
+        compare: u64,
+        meta: u64,
+        framing: u64,
+        payload: u64,
+    }
+    let mut sessions: BTreeMap<u64, SessionCheck> = BTreeMap::new();
+    let mut contacts: BTreeMap<u64, ContactCheck> = BTreeMap::new();
+
+    for (line, rec) in &records {
+        let line = *line;
+        let ev = rec
+            .get("ev")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("line {line}: missing \"ev\" field"))?;
+        if !KINDS.contains(&ev) {
+            return Err(format!("line {line}: unknown event kind {ev:?}"));
+        }
+        match ev {
+            "session_open" => {
+                let id = need_u64(line, rec, "session")?;
+                rec.get("scheme")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| format!("line {line}: session_open without scheme"))?;
+                let s = sessions.entry(id).or_default();
+                if s.opened {
+                    return Err(format!("line {line}: session {id} opened twice"));
+                }
+                s.opened = true;
+            }
+            "element" => {
+                let id = need_u64(line, rec, "session")?;
+                let s = sessions.entry(id).or_default();
+                s.elements += 1;
+                if rec.get("known").and_then(|v| v.as_bool()).unwrap_or(false) {
+                    s.known += 1;
+                }
+            }
+            "segment_skip" => {
+                let id = need_u64(line, rec, "session")?;
+                sessions.entry(id).or_default().skips += 1;
+            }
+            "session_close" => {
+                let id = need_u64(line, rec, "session")?;
+                let delta = need_u64(line, rec, "totals.delta")?;
+                let gamma = need_u64(line, rec, "totals.gamma")?;
+                let meta_elements = need_u64(line, rec, "totals.meta_elements")?;
+                let skips = need_u64(line, rec, "totals.skips")?;
+                let s = sessions.entry(id).or_default();
+                if !s.opened {
+                    return Err(format!("line {line}: session {id} closed before open"));
+                }
+                if s.closed {
+                    return Err(format!("line {line}: session {id} closed twice"));
+                }
+                s.closed = true;
+                if meta_elements != delta + gamma {
+                    return Err(format!(
+                        "line {line}: session {id} totals violate \
+                         meta_elements == |Δ|+|Γ| ({meta_elements} != {delta}+{gamma})"
+                    ));
+                }
+                // Per-event stream vs. close totals — only when the
+                // session's element traffic was observed on this thread.
+                if s.elements > 0 && s.elements != meta_elements {
+                    return Err(format!(
+                        "line {line}: session {id} saw {} element events but \
+                         closed with meta_elements={meta_elements}",
+                        s.elements
+                    ));
+                }
+                if s.skips > 0 && s.skips != skips {
+                    return Err(format!(
+                        "line {line}: session {id} saw {} segment_skip events \
+                         but closed with skips={skips}",
+                        s.skips
+                    ));
+                }
+            }
+            "frame_tx" => {
+                let id = need_u64(line, rec, "contact")?;
+                let c = contacts.entry(id).or_default();
+                c.compare += need_u64(line, rec, "compare")?;
+                c.meta += need_u64(line, rec, "meta")?;
+                c.framing += need_u64(line, rec, "framing")?;
+                c.payload += need_u64(line, rec, "payload")?;
+            }
+            "contact_begin" => {
+                let id = need_u64(line, rec, "contact")?;
+                let c = contacts.entry(id).or_default();
+                if c.opened {
+                    return Err(format!("line {line}: contact {id} opened twice"));
+                }
+                c.opened = true;
+            }
+            "contact_end" => {
+                let id = need_u64(line, rec, "contact")?;
+                let totals = [
+                    ("compare_bytes", 0usize),
+                    ("meta_bytes", 1),
+                    ("framing_bytes", 2),
+                    ("payload_bytes", 3),
+                ];
+                let c = contacts.entry(id).or_default();
+                if !c.opened {
+                    return Err(format!("line {line}: contact {id} ended before begin"));
+                }
+                if c.closed {
+                    return Err(format!("line {line}: contact {id} ended twice"));
+                }
+                c.closed = true;
+                let observed = [c.compare, c.meta, c.framing, c.payload];
+                for (field, idx) in totals {
+                    let total = need_u64(line, rec, &format!("totals.{field}"))?;
+                    if observed[idx] != total {
+                        return Err(format!(
+                            "line {line}: contact {id} frame_tx {field} sum \
+                             {} != contact_end total {total} (byte conservation)",
+                            observed[idx]
+                        ));
+                    }
+                }
+            }
+            "frame_rx" | "link_bytes" | "link_excess" => {
+                need_u64(line, rec, "bytes")?;
+            }
+            _ => {}
+        }
+    }
+
+    for (id, s) in &sessions {
+        if s.opened && !s.closed {
+            return Err(format!("session {id} opened but never closed"));
+        }
+        // Session 0 is the "no scope open" attribution: interleaved mux
+        // streams run their receivers outside any single session scope.
+        if *id != 0 && !s.opened && (s.elements > 0 || s.skips > 0) {
+            return Err(format!("session {id} has events but no session_open"));
+        }
+    }
+    for (id, c) in &contacts {
+        if c.opened && !c.closed {
+            return Err(format!("contact {id} begun but never ended"));
+        }
+    }
+    Ok(records.len())
 }

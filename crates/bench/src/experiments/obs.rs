@@ -1,0 +1,150 @@
+//! OBS — cost of the tracing layer on the hot sync path.
+//!
+//! Runs an E8-style multiplexed contact workload (256 objects, ~1%
+//! dirty, lockstep — no simulated latency, so the measurement is pure
+//! protocol work) three ways:
+//!
+//! * **off** — no sink installed: every `obs_emit!` site short-circuits
+//!   on the thread-local enabled flag.
+//! * **counters** — a [`CounterSink`] installed: each event is folded
+//!   into lock-free atomics, the production configuration.
+//! * **jsonl** — a `JsonlSink` writing to `io::sink()`: full event
+//!   serialization, the worst case (only with the `obs` feature).
+//!
+//! The acceptance target is counters ≤ 1.05× off. Wall-clock ratios are
+//! reported, not asserted — CI timing is too noisy for a hard gate — so
+//! the number lands in `BENCH_obs.json` where the trajectory is tracked
+//! across revisions. Without the `obs` feature, `obs::with` is a no-op
+//! and every configuration degenerates to "off".
+
+use crate::table::{f3, ratio, Table};
+use bytes::Bytes;
+use optrep_core::obs::{self, CounterSink};
+use optrep_core::{RotatingVector, SiteId, Srv};
+use optrep_replication::mux::{run_contact, BatchPullClient, BatchPullServer};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Objects per contact.
+const N: usize = 256;
+/// Objects carrying a server-side update.
+const DIRTY: usize = 3;
+/// Contacts per timed sample.
+const ITERS: usize = 16;
+/// Samples per configuration; the minimum is reported.
+const ROUNDS: usize = 17;
+
+/// One E8-style contact: `N` shared objects, the first [`DIRTY`] of
+/// which have an extra server-side update.
+fn workload() -> u64 {
+    let mut client = Vec::with_capacity(N);
+    let mut server = Vec::with_capacity(N);
+    for i in 0..N {
+        let name = Bytes::from(format!("obj{i:05}").into_bytes());
+        let mut v = Srv::new();
+        for u in 0..(2 + i % 4) {
+            v.record_update(SiteId::new((u % 6) as u32));
+        }
+        client.push((name.clone(), v.clone()));
+        let mut sv = v;
+        if i < DIRTY {
+            sv.record_update(SiteId::new(9));
+        }
+        server.push((name, sv, Bytes::from(format!("state-{i}").into_bytes())));
+    }
+    let contact = run_contact(
+        &mut BatchPullClient::new(client),
+        &mut BatchPullServer::new(server),
+    )
+    .expect("lockstep contact");
+    contact.total_bytes as u64
+}
+
+/// Times `ITERS` contacts per configuration, `ROUNDS` times, visiting
+/// the configurations round-robin *within* each round so scheduler and
+/// frequency drift hit every configuration alike; returns per-config
+/// (best ms, bytes of one sample) — minimum-of-rounds filters noise.
+fn sample_interleaved(configs: &[&dyn Fn() -> u64]) -> Vec<(f64, u64)> {
+    let mut out = vec![(f64::INFINITY, 0u64); configs.len()];
+    for _ in 0..ROUNDS {
+        for (slot, f) in out.iter_mut().zip(configs) {
+            let start = Instant::now();
+            let bytes: u64 = (0..ITERS).map(|_| f()).sum();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            slot.0 = slot.0.min(ms);
+            slot.1 = bytes;
+        }
+    }
+    out
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    // Warm up caches and the allocator before timing anything.
+    let _ = workload();
+
+    let counters = Arc::new(CounterSink::new());
+    let counters_sink: Arc<dyn obs::Sink> = counters.clone();
+    let with_counters = || obs::with(counters_sink.clone(), workload);
+
+    #[cfg(feature = "obs")]
+    let jsonl_sink: Arc<dyn obs::Sink> = Arc::new(obs::JsonlSink::new(Box::new(std::io::sink())));
+    #[cfg(feature = "obs")]
+    let with_jsonl = || obs::with(jsonl_sink.clone(), workload);
+
+    #[cfg(feature = "obs")]
+    let samples = sample_interleaved(&[&workload, &with_counters, &with_jsonl]);
+    #[cfg(not(feature = "obs"))]
+    let samples = sample_interleaved(&[&workload, &with_counters]);
+
+    let (off_ms, off_bytes) = samples[0];
+    let (counters_ms, counters_bytes) = samples[1];
+    let jsonl = samples.get(2).copied();
+
+    let mut t = Table::new(
+        "OBS: event-layer overhead on E8-style contacts (256 objects, lockstep)",
+        &["config", "wall-clock ms", "vs off", "bytes/sample"],
+    );
+    t.row(["off", &f3(off_ms), "1.00×", &off_bytes.to_string()]);
+    t.row([
+        "counters",
+        &f3(counters_ms),
+        &ratio(counters_ms, off_ms),
+        &counters_bytes.to_string(),
+    ]);
+    if let Some((jsonl_ms, jsonl_bytes)) = jsonl {
+        t.row([
+            "jsonl(io::sink)",
+            &f3(jsonl_ms),
+            &ratio(jsonl_ms, off_ms),
+            &jsonl_bytes.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "{ITERS} contacts per sample, min of {ROUNDS} samples; target: counters ≤ 1.05× off"
+    ));
+    if obs::with(Arc::new(CounterSink::new()), obs::enabled) {
+        let seen = counters.snapshot();
+        t.note(format!(
+            "counters observed {} contacts, {} round trips across all timed rounds",
+            seen.contacts, seen.round_trips
+        ));
+    } else {
+        t.note("`obs` feature disabled: all configurations run the bare path");
+    }
+
+    // The byte totals are protocol-determined and must not depend on
+    // whether anyone is watching.
+    assert_eq!(off_bytes, counters_bytes, "tracing changed wire traffic");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reports_all_configs() {
+        let tables = super::run();
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].len() >= 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimal JSONL parser for the `obs` event schema.
+//!
+//! The `JsonlSink` in `optrep-core::obs` writes one flat JSON object per
+//! line, with number / boolean / identifier-string / null values and at
+//! most one level of nesting (the `"totals"` object on `session_close`
+//! and `contact_end`). This module parses exactly that subset — nothing
+//! more — so the bench crate stays free of external JSON dependencies,
+//! mirroring the hand-rolled `Table::to_json` on the write side.
+//!
+//! Nested objects are flattened with dotted keys: `{"totals":{"delta":3}}`
+//! parses to the field `totals.delta = 3`.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON scalar from one event line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+    Null,
+}
+
+impl Value {
+    /// The value as a u64, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed event line: field name (dotted for nested) to value.
+pub type Record = BTreeMap<String, Value>;
+
+/// Parses one JSON object line into a flat [`Record`].
+///
+/// Returns `Err` with a human-readable message on any deviation from the
+/// event schema subset (unterminated strings, trailing garbage, depth
+/// beyond two, non-object top level).
+pub fn parse_line(line: &str) -> Result<Record, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let mut record = Record::new();
+    p.skip_ws();
+    p.parse_object("", &mut record)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(record)
+}
+
+/// Parses a whole JSONL document, skipping blank lines. The returned
+/// vector pairs each record with its 1-based line number for error
+/// reporting downstream.
+pub fn parse_document(text: &str) -> Result<Vec<(usize, Record)>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        out.push((idx + 1, record));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Parses `{ "key": value, ... }`, inserting fields into `record`
+    /// under `prefix` ("" at top level, "totals." one level down).
+    fn parse_object(&mut self, prefix: &str, record: &mut Record) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let field = format!("{prefix}{key}");
+            match self.peek() {
+                Some(b'{') => {
+                    if !prefix.is_empty() {
+                        return Err(format!(
+                            "object nested deeper than totals at byte {}",
+                            self.pos
+                        ));
+                    }
+                    self.parse_object(&format!("{field}."), record)?;
+                }
+                _ => {
+                    let value = self.parse_scalar()?;
+                    record.insert(field, value);
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\\' {
+                return Err(format!(
+                    "escape sequence at byte {} (not in schema)",
+                    self.pos
+                ));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_scalar(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.peek().is_some_and(|b| {
+                    b.is_ascii_digit()
+                        || b == b'.'
+                        || b == b'e'
+                        || b == b'E'
+                        || b == b'+'
+                        || b == b'-'
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| format!("bad number '{text}' at byte {start}"))
+            }
+            _ => Err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad keyword at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_event() {
+        let r = parse_line(r#"{"ev":"frame_rx","stream":3,"bytes":128}"#).unwrap();
+        assert_eq!(r["ev"].as_str(), Some("frame_rx"));
+        assert_eq!(r["stream"].as_u64(), Some(3));
+        assert_eq!(r["bytes"].as_u64(), Some(128));
+    }
+
+    #[test]
+    fn flattens_totals() {
+        let r = parse_line(
+            r#"{"ev":"session_close","session":1,"outcome":"synced","totals":{"delta":3,"gamma":1}}"#,
+        )
+        .unwrap();
+        assert_eq!(r["totals.delta"].as_u64(), Some(3));
+        assert_eq!(r["totals.gamma"].as_u64(), Some(1));
+        assert_eq!(r["outcome"].as_str(), Some("synced"));
+    }
+
+    #[test]
+    fn parses_bool_and_null() {
+        let r = parse_line(r#"{"lockstep":true,"oracle":null,"client":false}"#).unwrap();
+        assert_eq!(r["lockstep"].as_bool(), Some(true));
+        assert_eq!(r["oracle"], Value::Null);
+        assert_eq!(r["client"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("{").is_err());
+        assert!(parse_line(r#"{"a":1} x"#).is_err());
+        assert!(parse_line(r#"{"a":{"b":{"c":1}}}"#).is_err());
+        assert!(parse_line("[1,2]").is_err());
+    }
+
+    #[test]
+    fn document_skips_blank_lines_and_numbers_lines() {
+        let doc = "{\"a\":1}\n\n{\"b\":2}\n";
+        let recs = parse_document(doc).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, 1);
+        assert_eq!(recs[1].0, 3);
+    }
+}

@@ -14,6 +14,7 @@
 //! pipelining runs.
 
 pub mod experiments;
+pub mod jsonl;
 pub mod table;
 
 pub use table::Table;

@@ -22,6 +22,7 @@
 
 use crate::error::{Error, Result, WireError};
 use crate::graph::{CausalGraph, NodeId, Parents};
+use crate::obs;
 use crate::sync::{Endpoint, ProtocolMsg, SyncOptions, SyncReport, TickHarness, WireMsg};
 use crate::wire;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -351,6 +352,11 @@ impl Endpoint for SyncGReceiver {
                 payload,
             } => {
                 self.nodes_seen += 1;
+                crate::obs_emit!(obs::SyncEvent::GraphNode {
+                    session: obs::current_session(),
+                    value: id.raw(),
+                    applied: !self.graph.contains(id),
+                });
                 if self.graph.contains(id) {
                     self.redundant_nodes += 1;
                     if !self.skipping {
@@ -438,11 +444,13 @@ pub fn sync_graph_opts(
             return Err(Error::DisjointGraphs);
         }
     }
+    let scope = obs::session_scope("SYNCG", opts.is_lockstep());
     let sender = SyncGSender::new(b.clone());
     let receiver = SyncGReceiver::new(a.clone());
     let mut harness = TickHarness::new(sender, receiver, opts);
     harness.run()?;
     let (tx, rx, transfer) = harness.into_parts();
+    scope.close("synced", transfer.totals());
     let mut report = GraphReport {
         transfer,
         nodes_sent: tx.nodes_sent(),

@@ -50,6 +50,7 @@ pub mod causality;
 pub mod compare;
 pub mod error;
 pub mod graph;
+pub mod obs;
 pub mod order;
 pub mod rotating;
 pub mod site;

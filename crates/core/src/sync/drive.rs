@@ -23,6 +23,7 @@
 
 use crate::causality::Causality;
 use crate::error::{Error, Result};
+use crate::obs::{self, SessionTotals};
 use crate::rotating::{Brv, Crv, RotatingVector, Srv};
 use crate::sync::sender::VectorSender;
 use crate::sync::{
@@ -47,8 +48,10 @@ pub struct SyncOptions {
 }
 
 impl SyncOptions {
-    /// `true` when the run uses the ideal lockstep regime.
-    fn is_lockstep(&self) -> bool {
+    /// `true` when the run uses the ideal lockstep regime (no latency, no
+    /// bandwidth cap) — the regime in which the paper's transfer bounds
+    /// are exact.
+    pub fn is_lockstep(&self) -> bool {
         self.latency_forward == 0 && self.latency_backward == 0 && self.bandwidth.is_none()
     }
 }
@@ -83,6 +86,34 @@ impl SyncReport {
     /// Total encoded bytes in both directions.
     pub fn total_bytes(&self) -> usize {
         self.bytes_forward + self.bytes_backward
+    }
+
+    /// The run's costs as one absorbed session (all wire bytes are
+    /// protocol metadata at this layer; comparison and payload bytes are
+    /// accounted by the replication layer).
+    pub fn totals(&self) -> SessionTotals {
+        SessionTotals {
+            sessions: 1,
+            meta_bytes: self.total_bytes() as u64,
+            // The receiver's count, not `elements_sent`: a pipelined sender
+            // overruns, and discarded in-flight elements belong to β, not Δ∪Γ.
+            meta_elements: self.receiver.elements_received as u64,
+            delta: self.receiver.delta as u64,
+            gamma: self.receiver.gamma as u64,
+            skips: self.receiver.skips as u64,
+            ..SessionTotals::default()
+        }
+    }
+}
+
+/// Outcome label for a driver-owned session, derived from the COMPARE
+/// relation (`a` is the receiver).
+fn relation_outcome(relation: Causality) -> &'static str {
+    match relation {
+        Causality::Equal => "equal",
+        Causality::Before => "fast_forwarded",
+        Causality::After => "already_ahead",
+        Causality::Concurrent => "reconciled",
     }
 }
 
@@ -275,7 +306,7 @@ where
 }
 
 macro_rules! sync_fn {
-    ($(#[$doc:meta])* $name:ident, $name_opts:ident, $vec:ty, $rx_new:expr) => {
+    ($(#[$doc:meta])* $name:ident, $name_opts:ident, $vec:ty, $scheme:literal, $rx_new:expr) => {
         $(#[$doc])*
         pub fn $name(a: &mut $vec, b: &$vec) -> Result<SyncReport> {
             $name_opts(a, b, SyncOptions::default())
@@ -287,7 +318,18 @@ macro_rules! sync_fn {
         ///
         /// Propagates protocol errors; on error `a` is left unchanged.
         pub fn $name_opts(a: &mut $vec, b: &$vec, opts: SyncOptions) -> Result<SyncReport> {
+            let scope = obs::session_scope($scheme, opts.is_lockstep());
             let relation = a.compare(b);
+            crate::obs_emit!(obs::SyncEvent::Compare {
+                session: scope.id(),
+                relation,
+                oracle: if obs::wants_oracle() {
+                    Some(a.to_version_vector().compare(&b.to_version_vector()))
+                } else {
+                    None
+                },
+                cost_bytes: 0,
+            });
             let sender = VectorSender::with_flow(b.clone(), opts.flow);
             #[allow(clippy::redundant_closure_call)]
             let receiver = ($rx_new)(a.clone(), relation, opts.flow)?;
@@ -298,6 +340,7 @@ macro_rules! sync_fn {
             *a = vec;
             report.relation = Some(relation);
             report.receiver = stats;
+            scope.close(relation_outcome(relation), report.totals());
             Ok(report)
         }
     };
@@ -310,7 +353,7 @@ sync_fn! {
     ///
     /// Returns [`Error::ConcurrentVectors`] if `a ∥ b` (the `SYNCB`
     /// precondition, §3.1) and propagates protocol errors.
-    sync_brv, sync_brv_opts, Brv,
+    sync_brv, sync_brv_opts, Brv, "BRV",
     SyncBReceiver::with_flow
 }
 
@@ -322,14 +365,14 @@ sync_fn! {
     /// update on the hosting site (Parker §C) to restore the front-element
     /// invariant — the replication layer in `optrep-replication` does this
     /// automatically.
-    sync_crv, sync_crv_opts, Crv,
+    sync_crv, sync_crv_opts, Crv, "CRV",
     |vec, relation, flow| Ok::<_, Error>(SyncCReceiver::with_flow(vec, relation, flow))
 }
 
 sync_fn! {
     /// Runs `SYNCS_b(a)` to completion: like [`sync_crv`] but skipping
     /// whole known segments (optimal `O(|Δ|+γ)` communication).
-    sync_srv, sync_srv_opts, Srv,
+    sync_srv, sync_srv_opts, Srv, "SRV",
     |vec, relation, flow| Ok::<_, Error>(SyncSReceiver::with_flow(vec, relation, flow))
 }
 
@@ -353,7 +396,16 @@ pub fn sync_full_opts(
     b: &VersionVector,
     opts: SyncOptions,
 ) -> Result<SyncReport> {
+    let scope = obs::session_scope("FULL", opts.is_lockstep());
     let relation = a.compare(b);
+    // The relation *is* the O(n) oracle here — nothing independent to
+    // cross-check, so none is attached.
+    crate::obs_emit!(obs::SyncEvent::Compare {
+        session: scope.id(),
+        relation,
+        oracle: None,
+        cost_bytes: 0,
+    });
     let sender = FullSender::new(b.clone());
     let receiver = FullReceiver::new(a.clone());
     let mut harness = TickHarness::new(sender, receiver, opts);
@@ -364,6 +416,7 @@ pub fn sync_full_opts(
     report.relation = Some(relation);
     report.receiver = stats;
     report.elements_sent = stats.elements_received;
+    scope.close(relation_outcome(relation), report.totals());
     Ok(report)
 }
 

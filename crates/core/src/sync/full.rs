@@ -6,6 +6,7 @@
 //! vectors differ — the overhead the rotating implementations eliminate.
 
 use crate::error::Result;
+use crate::obs;
 use crate::sync::{unexpected, Endpoint, Msg, ReceiverStats};
 use crate::vv::VersionVector;
 use std::collections::VecDeque;
@@ -106,7 +107,16 @@ impl Endpoint for FullReceiver {
             Msg::FullVector { pairs } => {
                 self.stats.elements_received += pairs.len();
                 for (site, value) in pairs {
-                    if value > self.vec.value(site) {
+                    let known = value <= self.vec.value(site);
+                    crate::obs_emit!(obs::SyncEvent::Element {
+                        session: obs::current_session(),
+                        site: site.index(),
+                        value,
+                        known,
+                        conflict: false,
+                        segment: false,
+                    });
+                    if !known {
                         self.vec.set(site, value);
                         self.stats.delta += 1;
                     } else {

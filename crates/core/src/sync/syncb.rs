@@ -12,6 +12,7 @@
 
 use crate::causality::Causality;
 use crate::error::{Error, Result};
+use crate::obs;
 use crate::rotating::{Brv, RotatingVector};
 use crate::site::SiteId;
 use crate::sync::{unexpected, Endpoint, FlowControl, Msg, ReceiverStats};
@@ -89,7 +90,16 @@ impl Endpoint for SyncBReceiver {
         match msg {
             Msg::ElemB { site, value } => {
                 self.stats.elements_received += 1;
-                if value <= self.vec.value(site) {
+                let known = value <= self.vec.value(site);
+                crate::obs_emit!(obs::SyncEvent::Element {
+                    session: obs::current_session(),
+                    site: site.index(),
+                    value,
+                    known,
+                    conflict: false,
+                    segment: false,
+                });
+                if known {
                     self.stats.gamma += 1;
                     self.outbox.push_back(Msg::Halt);
                     self.done = true;

@@ -10,6 +10,7 @@
 
 use crate::causality::Causality;
 use crate::error::Result;
+use crate::obs;
 use crate::rotating::{Crv, RotatingVector};
 use crate::site::SiteId;
 use crate::sync::{unexpected, Endpoint, FlowControl, Msg, ReceiverStats};
@@ -82,11 +83,24 @@ impl Endpoint for SyncCReceiver {
                 conflict,
             } => {
                 self.stats.elements_received += 1;
-                if value <= self.vec.value(site) {
+                let known = value <= self.vec.value(site);
+                crate::obs_emit!(obs::SyncEvent::Element {
+                    session: obs::current_session(),
+                    site: site.index(),
+                    value,
+                    known,
+                    conflict,
+                    segment: false,
+                });
+                if known {
                     self.stats.gamma += 1;
                     if conflict {
                         // A tagged element may hide unknown ones: keep going.
                         self.reconcile = true;
+                        crate::obs_emit!(obs::SyncEvent::ConflictBit {
+                            session: obs::current_session(),
+                            site: site.index(),
+                        });
                         if self.flow == FlowControl::StopAndWait {
                             self.outbox.push_back(Msg::Continue);
                         }

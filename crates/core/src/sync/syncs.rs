@@ -46,6 +46,7 @@
 
 use crate::causality::Causality;
 use crate::error::{Error, Result};
+use crate::obs;
 use crate::rotating::{RotatingVector, Srv};
 use crate::site::SiteId;
 use crate::sync::{unexpected, Endpoint, FlowControl, Msg, ReceiverStats};
@@ -107,7 +108,16 @@ impl SyncSReceiver {
 
     fn on_element(&mut self, site: SiteId, value: u64, conflict: bool, segment: bool) {
         self.stats.elements_received += 1;
-        if value <= self.vec.value(site) {
+        let known = value <= self.vec.value(site);
+        crate::obs_emit!(obs::SyncEvent::Element {
+            session: obs::current_session(),
+            site: site.index(),
+            value,
+            known,
+            conflict,
+            segment,
+        });
+        if known {
             self.stats.gamma += 1;
             if self.skipping {
                 // An element that should have been skipped (in flight when
@@ -132,6 +142,10 @@ impl SyncSReceiver {
                 }
                 if conflict {
                     self.reconcile = true;
+                    crate::obs_emit!(obs::SyncEvent::ConflictBit {
+                        session: obs::current_session(),
+                        site: site.index(),
+                    });
                     if segment {
                         // The known element is itself the segment boundary:
                         // nothing remains to skip.
@@ -142,6 +156,10 @@ impl SyncSReceiver {
                         self.outbox.push_back(Msg::Skip { seg: self.segs });
                         self.skipping = true;
                         self.stats.skips += 1;
+                        crate::obs_emit!(obs::SyncEvent::SegmentSkip {
+                            session: obs::current_session(),
+                            seg: self.segs,
+                        });
                     }
                 } else {
                     self.outbox.push_back(Msg::Halt);

@@ -218,6 +218,10 @@ impl FrameDecoder {
         let header_len = self.buf.len() - probe.remaining();
         let _ = self.buf.split_to(header_len);
         let payload = self.buf.split_to(payload_len).freeze();
+        crate::obs_emit!(crate::obs::SyncEvent::FrameRx {
+            stream,
+            bytes: (header_len + payload_len) as u64,
+        });
         Ok(Some(Frame { stream, payload }))
     }
 }

@@ -34,6 +34,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use optrep_core::error::WireError;
+use optrep_core::obs::{CounterSink, CounterSnapshot};
 use optrep_core::sync::SyncOptions;
 use optrep_core::{wire, Causality, Result, RotatingVector, SiteId, Srv};
 use optrep_replication::mux::{run_contact, BatchPullClient, BatchPullServer};
@@ -110,10 +111,19 @@ pub struct KvSyncReport {
 
 /// A replicated key-value store: one [`Srv`] per key, anti-entropy
 /// synchronization, tombstoned deletes and durable snapshots.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct KvStore {
     site: SiteId,
     entries: BTreeMap<String, Entry>,
+    stats: CounterSink,
+}
+
+/// Equality is over the replicated state (site and entries); the local
+/// cost counters are operational bookkeeping, not state.
+impl PartialEq for KvStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.site == other.site && self.entries == other.entries
+    }
 }
 
 impl KvStore {
@@ -122,12 +132,19 @@ impl KvStore {
         KvStore {
             site,
             entries: BTreeMap::new(),
+            stats: CounterSink::new(),
         }
     }
 
     /// The hosting site.
     pub fn site(&self) -> SiteId {
         self.site
+    }
+
+    /// A snapshot of the cumulative anti-entropy costs this store has paid
+    /// (as the pulling side).
+    pub fn stats(&self) -> CounterSnapshot {
+        self.stats.snapshot()
     }
 
     /// Writes a value. Counts as one update on this site's element of the
@@ -241,9 +258,12 @@ impl KvStore {
         }));
         let contact = run_contact(&mut client, &mut server)?;
 
+        let totals = contact.totals();
+        self.stats.record_contact(contact.round_trips);
+        self.stats.absorb(&totals);
         let mut report = KvSyncReport {
-            meta_bytes: (contact.compare_bytes + contact.meta_bytes) as usize,
-            value_bytes: contact.payload_bytes as usize,
+            meta_bytes: totals.meta_wire_bytes() as usize,
+            value_bytes: totals.payload_bytes as usize,
             ..KvSyncReport::default()
         };
         for result in client.finish() {
@@ -251,6 +271,7 @@ impl KvStore {
                 // Our key, absent on the source: nothing travelled.
                 continue;
             };
+            self.stats.absorb(&outcome.stats.totals());
             report.keys_examined += 1;
             let key = String::from_utf8(result.name.to_vec())
                 .map_err(|_| optrep_core::Error::Wire(WireError::InvalidPayload))?;
@@ -277,6 +298,7 @@ impl KvStore {
                     let ours = self.entries.get_mut(&key).expect("client named our key");
                     ours.meta = outcome.vector;
                     ours.value = value;
+                    self.stats.record_fast_forward();
                     report.keys_fast_forwarded += 1;
                 }
                 Causality::Concurrent => {
@@ -288,6 +310,7 @@ impl KvStore {
                     // Parker §C: the resolved version must dominate both
                     // parents.
                     ours.meta.record_update(self.site);
+                    self.stats.record_reconciliation();
                     report.keys_reconciled += 1;
                 }
             }
@@ -354,7 +377,11 @@ impl KvStore {
             };
             entries.insert(key, Entry { meta, value });
         }
-        Ok(KvStore { site, entries })
+        Ok(KvStore {
+            site,
+            entries,
+            stats: CounterSink::new(),
+        })
     }
 }
 

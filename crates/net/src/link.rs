@@ -1,5 +1,6 @@
 //! Byte-level accounting shared by the transports.
 
+use optrep_core::{obs, obs_emit};
 use std::fmt;
 
 /// Per-direction byte and message counters for one synchronization run.
@@ -28,12 +29,20 @@ impl LinkStats {
     pub fn record_ab(&mut self, len: usize) {
         self.bytes_ab += len;
         self.msgs_ab += 1;
+        obs_emit!(obs::SyncEvent::LinkBytes {
+            forward: true,
+            bytes: len as u64,
+        });
     }
 
     /// Records one message of `len` bytes in the backward direction.
     pub fn record_ba(&mut self, len: usize) {
         self.bytes_ba += len;
         self.msgs_ba += 1;
+        obs_emit!(obs::SyncEvent::LinkBytes {
+            forward: false,
+            bytes: len as u64,
+        });
     }
 
     /// Total bytes in both directions.

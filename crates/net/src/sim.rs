@@ -17,6 +17,7 @@
 use crate::link::LinkStats;
 use optrep_core::error::{Error, Result};
 use optrep_core::sync::{Endpoint, ProtocolMsg};
+use optrep_core::{obs, obs_emit};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -261,6 +262,7 @@ where
             // side sends after its peer asked it to stop.
             if msg.is_payload() && self.first_nak[side.other().idx()].is_some() {
                 self.excess_bytes += len;
+                obs_emit!(obs::SyncEvent::LinkExcess { bytes: len as u64 });
             }
             if msg.is_nak() && self.first_nak[side.idx()].is_none() {
                 self.first_nak[side.idx()] = Some(self.now);

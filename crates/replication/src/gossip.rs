@@ -14,66 +14,37 @@ use crate::reconcile::Reconciler;
 use crate::session::{sync_replica, Outcome, SessionReport};
 use crate::site::{Site, StateReplica};
 use bytes::{Bytes, BytesMut};
+use optrep_core::obs::{self, CounterSink, CounterSnapshot};
 use optrep_core::sync::SyncOptions;
-use optrep_core::{wire, Causality, Result, SiteId, Srv};
+use optrep_core::{obs_emit, wire, Causality, Result, SiteId, Srv};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-/// Aggregated costs and outcomes over all sessions run by a cluster.
+/// Point-in-time view of a cluster's aggregated costs and outcomes.
+///
+/// [`Cluster::stats`] hands out a *copy*: the `at_round` field records the
+/// gossip round at snapshot time so a stale read (a snapshot taken before
+/// more rounds ran) is visible instead of silently passing for live
+/// totals. The counters themselves live in a [`CounterSink`] inside the
+/// cluster — the same aggregation the event layer uses.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ClusterStats {
-    /// Sessions run (including no-ops).
-    pub sessions: u64,
-    /// Bytes spent on metadata comparison exchanges.
-    pub compare_bytes: u64,
-    /// Metadata protocol bytes, both directions.
-    pub meta_bytes: u64,
-    /// Payload bytes shipped.
-    pub payload_bytes: u64,
-    /// Metadata elements transmitted.
-    pub meta_elements: u64,
-    /// Sum of `|Δ|` over all sessions.
-    pub delta_total: u64,
-    /// Sum of `|Γ|` over all sessions.
-    pub gamma_total: u64,
-    /// Sum of γ (skipped segments) over all sessions.
-    pub skips_total: u64,
-    /// Sessions that fast-forwarded.
-    pub fast_forwards: u64,
-    /// Sessions that reconciled concurrent replicas.
-    pub reconciliations: u64,
-    /// Sessions that recorded a conflict for manual resolution.
-    pub conflicts: u64,
-    /// Multiplexed contacts run (one framed connection each, all shared
-    /// objects as interleaved streams).
-    pub contacts: u64,
-    /// Blocking round trips spent across all contacts.
-    pub round_trips: u64,
-    /// Connection framing overhead bytes (frame headers, stream ids,
-    /// object names) across all contacts.
-    pub framing_bytes: u64,
+pub struct ClusterSnapshot {
+    /// Gossip rounds completed when the snapshot was taken.
+    pub at_round: u64,
+    /// The counter values at snapshot time.
+    pub counters: CounterSnapshot,
 }
 
-impl ClusterStats {
-    fn absorb(&mut self, report: &SessionReport) {
-        self.sessions += 1;
-        self.compare_bytes += report.compare_bytes as u64;
-        self.payload_bytes += report.payload_bytes as u64;
-        if let Some(meta) = report.meta {
-            self.meta_bytes += meta.total_bytes() as u64;
-            self.meta_elements += meta.elements_sent as u64;
-            self.delta_total += meta.receiver.delta as u64;
-            self.gamma_total += meta.receiver.gamma as u64;
-            self.skips_total += meta.receiver.skips as u64;
-        }
-        match report.outcome {
-            Outcome::FastForwarded => self.fast_forwards += 1,
-            Outcome::Reconciled => self.reconciliations += 1,
-            Outcome::ConflictExcluded => self.conflicts += 1,
-            _ => {}
-        }
+impl std::ops::Deref for ClusterSnapshot {
+    type Target = CounterSnapshot;
+
+    fn deref(&self) -> &CounterSnapshot {
+        &self.counters
     }
 }
+
+/// Historical name of the cluster's aggregate statistics.
+pub type ClusterStats = ClusterSnapshot;
 
 /// A cluster of sites sharing replicated objects, synchronized by gossip.
 #[derive(Debug, Clone)]
@@ -81,7 +52,21 @@ pub struct Cluster<M, P, R> {
     sites: Vec<Site<M, P>>,
     reconciler: R,
     opts: SyncOptions,
-    stats: ClusterStats,
+    stats: CounterSink,
+    rounds: u64,
+}
+
+/// Routes one session's costs and outcome into a [`CounterSink`] — the
+/// single absorption path shared by [`Cluster::sync`] and
+/// `KvStore::sync_from`.
+pub(crate) fn absorb_session(sink: &CounterSink, report: &SessionReport) {
+    sink.absorb(&report.totals());
+    match report.outcome {
+        Outcome::FastForwarded => sink.record_fast_forward(),
+        Outcome::Reconciled => sink.record_reconciliation(),
+        Outcome::ConflictExcluded => sink.record_conflict(),
+        _ => {}
+    }
 }
 
 impl<M, P, R> Cluster<M, P, R>
@@ -96,7 +81,8 @@ where
             sites: (0..n).map(|i| Site::new(SiteId::new(i))).collect(),
             reconciler,
             opts: SyncOptions::default(),
-            stats: ClusterStats::default(),
+            stats: CounterSink::new(),
+            rounds: 0,
         }
     }
 
@@ -128,9 +114,13 @@ where
         &mut self.sites[id.index() as usize]
     }
 
-    /// Aggregated statistics so far.
-    pub fn stats(&self) -> ClusterStats {
-        self.stats
+    /// A snapshot of the aggregated statistics so far, stamped with the
+    /// number of gossip rounds completed.
+    pub fn stats(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            at_round: self.rounds,
+            counters: self.stats.snapshot(),
+        }
     }
 
     /// Synchronizes `dst`'s replica of `object` from `src` and records the
@@ -155,7 +145,7 @@ where
             (&mut hi[0], &lo[s])
         };
         let report = sync_replica(dst_site, src_site, object, &self.reconciler, self.opts)?;
-        self.stats.absorb(&report);
+        absorb_session(&self.stats, &report);
         Ok(report)
     }
 
@@ -166,6 +156,8 @@ where
     ///
     /// Propagates protocol errors.
     pub fn gossip_round<G: Rng>(&mut self, rng: &mut G, object: ObjectId) -> Result<()> {
+        self.rounds += 1;
+        obs_emit!(obs::SyncEvent::GossipRound { round: self.rounds });
         let n = self.sites.len() as u32;
         let mut order: Vec<u32> = (0..n).collect();
         order.shuffle(rng);
@@ -328,12 +320,8 @@ where
         let mut server = BatchPullServer::new(server_objects);
         let report = run_contact(&mut client, &mut server)?;
 
-        self.stats.contacts += 1;
-        self.stats.round_trips += report.round_trips;
-        self.stats.compare_bytes += report.compare_bytes;
-        self.stats.meta_bytes += report.meta_bytes;
-        self.stats.payload_bytes += report.payload_bytes;
-        self.stats.framing_bytes += report.framing_bytes;
+        self.stats.record_contact(report.round_trips);
+        self.stats.absorb(&report.totals());
 
         let dst_site = &mut self.sites[dst.index() as usize];
         for result in client.finish() {
@@ -342,12 +330,8 @@ where
                 // `dst` hosts an object `src` does not; nothing travelled.
                 continue;
             };
-            self.stats.sessions += 1;
             dst_site.stats_mut().syncs_received += 1;
-            self.stats.delta_total += outcome.stats.delta as u64;
-            self.stats.gamma_total += outcome.stats.gamma as u64;
-            self.stats.skips_total += outcome.stats.skips as u64;
-            self.stats.meta_elements += outcome.stats.elements_received as u64;
+            self.stats.absorb(&outcome.stats.totals());
             if result.discovered {
                 let mut data = outcome.payload.expect("discovered objects transfer");
                 let payload = P::decode_payload(&mut data).map_err(optrep_core::Error::Wire)?;
@@ -368,7 +352,7 @@ where
                     let replica = dst_site.replica_mut(object).expect("named by client");
                     replica.meta = outcome.vector;
                     replica.payload = payload;
-                    self.stats.fast_forwards += 1;
+                    self.stats.record_fast_forward();
                 }
                 Causality::Concurrent => {
                     let mut data = outcome.payload.expect("reconciliation transfers state");
@@ -382,7 +366,7 @@ where
                     let site_stats = dst_site.stats_mut();
                     site_stats.reconciliations += 1;
                     site_stats.updates += 1;
-                    self.stats.reconciliations += 1;
+                    self.stats.record_reconciliation();
                 }
             }
         }
@@ -398,6 +382,8 @@ where
     ///
     /// Propagates protocol errors.
     pub fn gossip_round_mux<G: Rng>(&mut self, rng: &mut G) -> Result<()> {
+        self.rounds += 1;
+        obs_emit!(obs::SyncEvent::GossipRound { round: self.rounds });
         let n = self.sites.len() as u32;
         let mut order: Vec<u32> = (0..n).collect();
         order.shuffle(rng);

@@ -31,10 +31,11 @@ pub mod reconcile;
 pub mod session;
 pub mod site;
 
-pub use gossip::{Cluster, ClusterStats};
+pub use gossip::{Cluster, ClusterSnapshot, ClusterStats};
 pub use meta::ReplicaMeta;
 pub use mux::{
-    run_contact, BatchPullClient, BatchPullServer, ContactReport, CtrlMsg, MuxMsg, StreamResult,
+    classify, run_contact, BatchPullClient, BatchPullServer, ContactReport, CtrlMsg, FrameBytes,
+    MuxMsg, StreamResult,
 };
 pub use object::ObjectId;
 pub use oplog::OpReplica;

@@ -31,8 +31,9 @@ use crate::protocol::{
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use optrep_core::error::{Error, Result, WireError};
+use optrep_core::obs::{self, SessionTotals};
 use optrep_core::sync::{Endpoint, Framed, ProtocolMsg, WireMsg};
-use optrep_core::{wire, SiteId, Srv};
+use optrep_core::{obs_emit, wire, SiteId, Srv};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Stream identifier reserved for connection-level control frames.
@@ -770,46 +771,82 @@ pub struct ContactReport {
     pub frames: u64,
 }
 
+/// One frame's bytes, split by the paper's cost taxonomy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameBytes {
+    /// Comparison bytes (first elements, verdict flags, coalesced `Done`s).
+    pub compare: u64,
+    /// `SYNCS` metadata bytes.
+    pub meta: u64,
+    /// Framing overhead bytes (headers, stream ids, names).
+    pub framing: u64,
+    /// State-transfer payload bytes.
+    pub payload: u64,
+}
+
+impl FrameBytes {
+    /// Every byte of the frame.
+    pub fn total(&self) -> u64 {
+        self.compare + self.meta + self.framing + self.payload
+    }
+}
+
+/// Classifies one frame's encoded bytes into the cost taxonomy of
+/// [`ContactReport`]: comparison, metadata, framing, payload.
+pub fn classify(framed: &Framed<MuxMsg>) -> FrameBytes {
+    let total = framed.encoded_len() as u64;
+    let mut bytes = FrameBytes::default();
+    match &framed.msg {
+        MuxMsg::Ctrl(CtrlMsg::BatchHello { opens, .. }) => {
+            bytes.compare = opens
+                .iter()
+                .map(|o| opt_elem_len(&o.first) as u64)
+                .sum::<u64>();
+        }
+        MuxMsg::Ctrl(CtrlMsg::BatchServerFirst { answers, offers }) => {
+            bytes.compare = answers
+                .iter()
+                .map(|a| opt_elem_len(&a.first) as u64 + 1)
+                .sum::<u64>()
+                + offers
+                    .iter()
+                    .map(|o| opt_elem_len(&o.first) as u64 + 1)
+                    .sum::<u64>();
+        }
+        MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
+            bytes.compare = streams.len() as u64;
+        }
+        MuxMsg::Session(SessionMsg::Payload { data }) => {
+            bytes.payload = data.len() as u64;
+        }
+        MuxMsg::Session(inner) => {
+            bytes.meta = inner.encoded_len() as u64;
+        }
+    }
+    bytes.framing = total - bytes.compare - bytes.meta - bytes.payload;
+    bytes
+}
+
 impl ContactReport {
     fn account(&mut self, framed: &Framed<MuxMsg>) {
-        let total = framed.encoded_len() as u64;
-        self.total_bytes += total;
+        let bytes = classify(framed);
+        self.total_bytes += bytes.total();
         self.frames += 1;
-        match &framed.msg {
-            MuxMsg::Ctrl(CtrlMsg::BatchHello { opens, .. }) => {
-                let compare = opens
-                    .iter()
-                    .map(|o| opt_elem_len(&o.first) as u64)
-                    .sum::<u64>();
-                self.compare_bytes += compare;
-                self.framing_bytes += total - compare;
-            }
-            MuxMsg::Ctrl(CtrlMsg::BatchServerFirst { answers, offers }) => {
-                let compare = answers
-                    .iter()
-                    .map(|a| opt_elem_len(&a.first) as u64 + 1)
-                    .sum::<u64>()
-                    + offers
-                        .iter()
-                        .map(|o| opt_elem_len(&o.first) as u64 + 1)
-                        .sum::<u64>();
-                self.compare_bytes += compare;
-                self.framing_bytes += total - compare;
-            }
-            MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
-                let compare = streams.len() as u64;
-                self.compare_bytes += compare;
-                self.framing_bytes += total - compare;
-            }
-            MuxMsg::Session(SessionMsg::Payload { data }) => {
-                self.payload_bytes += data.len() as u64;
-                self.framing_bytes += total - data.len() as u64;
-            }
-            MuxMsg::Session(inner) => {
-                let meta = inner.encoded_len() as u64;
-                self.meta_bytes += meta;
-                self.framing_bytes += total - meta;
-            }
+        self.compare_bytes += bytes.compare;
+        self.meta_bytes += bytes.meta;
+        self.framing_bytes += bytes.framing;
+        self.payload_bytes += bytes.payload;
+    }
+
+    /// The contact's wire costs as one absorbed counter delta
+    /// (connection-level: `sessions == 0`).
+    pub fn totals(&self) -> SessionTotals {
+        SessionTotals {
+            compare_bytes: self.compare_bytes,
+            meta_bytes: self.meta_bytes,
+            framing_bytes: self.framing_bytes,
+            payload_bytes: self.payload_bytes,
+            ..SessionTotals::default()
         }
     }
 }
@@ -829,6 +866,7 @@ pub fn run_contact(
     client: &mut BatchPullClient,
     server: &mut BatchPullServer,
 ) -> Result<ContactReport> {
+    let scope = obs::contact_scope(client.streams.len() as u64);
     let mut report = ContactReport::default();
     // Round trips are the blocking dependency depth, not the burst count:
     // the streams run concurrently, so however the lockstep loop trickles
@@ -839,6 +877,7 @@ pub fn run_contact(
         let mut progress = false;
         while let Some(framed) = client.poll_send() {
             report.account(&framed);
+            emit_frame_tx(scope.id(), &framed, true);
             match framed.msg {
                 MuxMsg::Ctrl(CtrlMsg::BatchHello { .. }) => report.round_trips += 1,
                 MuxMsg::Session(SessionMsg::PayloadRequest) => payload_requested = true,
@@ -849,11 +888,13 @@ pub fn run_contact(
         }
         if let Some(framed) = server.poll_send() {
             report.account(&framed);
+            emit_frame_tx(scope.id(), &framed, false);
             client.on_receive(framed)?;
             progress = true;
         }
         if client.is_done() && server.is_done() {
             report.round_trips += u64::from(payload_requested);
+            scope.close(report.round_trips, report.totals());
             return Ok(report);
         }
         if !progress {
@@ -862,6 +903,25 @@ pub fn run_contact(
             });
         }
     }
+}
+
+/// Emits one [`obs::SyncEvent::FrameTx`] with the frame's classified bytes.
+fn emit_frame_tx(contact: u64, framed: &Framed<MuxMsg>, client: bool) {
+    // Classification walks the frame; skip it entirely when no sink listens.
+    if !obs::enabled() {
+        let _ = (contact, framed, client);
+        return;
+    }
+    let bytes = classify(framed);
+    obs_emit!(obs::SyncEvent::FrameTx {
+        contact,
+        stream: framed.stream,
+        client,
+        compare: bytes.compare,
+        meta: bytes.meta,
+        framing: bytes.framing,
+        payload: bytes.payload,
+    });
 }
 
 #[cfg(test)]

@@ -12,8 +12,9 @@ use crate::object::ObjectId;
 use crate::payload::ReplicaPayload;
 use crate::reconcile::Reconciler;
 use crate::site::{ConflictRecord, Site, StateReplica};
+use optrep_core::obs::{self, SessionTotals};
 use optrep_core::sync::{SyncOptions, SyncReport};
-use optrep_core::{Causality, Result};
+use optrep_core::{obs_emit, Causality, Result};
 
 /// What a synchronization session did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,21 @@ pub enum Outcome {
     /// Concurrent replicas in a manual-resolution system: the conflict was
     /// recorded and the replicas left untouched (BRV, §3.1).
     ConflictExcluded,
+}
+
+impl Outcome {
+    /// Stable snake_case label, used for event outcomes.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::SourceMissing => "source_missing",
+            Outcome::ReplicaCreated => "replica_created",
+            Outcome::AlreadyEqual => "equal",
+            Outcome::FastForwarded => "fast_forwarded",
+            Outcome::AlreadyAhead => "already_ahead",
+            Outcome::Reconciled => "reconciled",
+            Outcome::ConflictExcluded => "conflict_excluded",
+        }
+    }
 }
 
 /// Byte-accurate account of one session.
@@ -66,6 +82,17 @@ impl SessionReport {
     pub fn total_bytes(&self) -> usize {
         self.compare_bytes + self.meta.map(|m| m.total_bytes()).unwrap_or(0) + self.payload_bytes
     }
+
+    /// The session's costs as one absorbed counter delta.
+    pub fn totals(&self) -> SessionTotals {
+        let mut t = self.meta.map(|m| m.totals()).unwrap_or(SessionTotals {
+            sessions: 1,
+            ..SessionTotals::default()
+        });
+        t.compare_bytes = self.compare_bytes as u64;
+        t.payload_bytes = self.payload_bytes as u64;
+        t
+    }
 }
 
 /// Synchronizes `dst`'s replica of `object` with `src`'s (`SYNC*_src(dst)`:
@@ -79,6 +106,24 @@ impl SessionReport {
 ///
 /// Propagates protocol errors from the metadata sync.
 pub fn sync_replica<M, P, R>(
+    dst: &mut Site<M, P>,
+    src: &Site<M, P>,
+    object: ObjectId,
+    reconciler: &R,
+    opts: SyncOptions,
+) -> Result<SessionReport>
+where
+    M: ReplicaMeta,
+    P: ReplicaPayload,
+    R: Reconciler<P>,
+{
+    let scope = obs::session_scope(M::NAME, opts.is_lockstep());
+    let report = sync_replica_inner(dst, src, object, reconciler, opts)?;
+    scope.close(report.outcome.label(), report.totals());
+    Ok(report)
+}
+
+fn sync_replica_inner<M, P, R>(
     dst: &mut Site<M, P>,
     src: &Site<M, P>,
     object: ObjectId,
@@ -123,6 +168,18 @@ where
     } else {
         replica.meta.compare_cost_bytes(&src_replica.meta)
     };
+    obs_emit!(obs::SyncEvent::Compare {
+        session: obs::current_session(),
+        relation,
+        // For the baseline the relation *is* the O(n) comparison; attaching
+        // it as its own oracle would be vacuous.
+        oracle: if !M::COMPARE_IS_SYNC && obs::wants_oracle() {
+            Some(replica.meta.values().compare(&src_replica.meta.values()))
+        } else {
+            None
+        },
+        cost_bytes: compare_bytes as u64,
+    });
 
     match relation {
         Causality::Equal | Causality::After if M::COMPARE_IS_SYNC => {
@@ -160,6 +217,10 @@ where
         }
         Causality::Concurrent => {
             if M::SUPPORTS_RECONCILIATION {
+                obs_emit!(obs::SyncEvent::Reconcile {
+                    session: obs::current_session(),
+                    decision: "merged",
+                });
                 let meta_report = replica.meta.sync_from(&src_replica.meta, opts)?;
                 replica.payload = reconciler.merge(&replica.payload, &src_replica.payload);
                 // Parker §C: the site increments its own value after
@@ -176,6 +237,10 @@ where
                     payload_bytes: src_replica.payload.encoded_len(),
                 })
             } else {
+                obs_emit!(obs::SyncEvent::Reconcile {
+                    session: obs::current_session(),
+                    decision: "excluded",
+                });
                 dst.record_conflict(ConflictRecord {
                     object,
                     with: src.id(),
