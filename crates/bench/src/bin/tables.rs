@@ -146,6 +146,8 @@ fn check_jsonl(path: &str) -> Result<usize, String> {
         "frame_rx",
         "contact_begin",
         "contact_end",
+        "session_aborted",
+        "retry",
         "gossip_round",
         "link_bytes",
         "link_excess",
@@ -295,6 +297,27 @@ fn check_jsonl(path: &str) -> Result<usize, String> {
                         ));
                     }
                 }
+            }
+            "session_aborted" => {
+                let id = need_u64(line, rec, "contact")?;
+                let stream = need_u64(line, rec, "stream")?;
+                rec.get("reason")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| format!("line {line}: session_aborted without reason"))?;
+                if stream == 0 {
+                    // The whole contact aborted: it ends without a
+                    // contact_end and its frames were never committed, so
+                    // it is exempt from byte conservation — as are any
+                    // sessions left open inside it.
+                    contacts.remove(&id);
+                    sessions.retain(|_, s| s.closed || !s.opened);
+                }
+            }
+            "retry" => {
+                need_u64(line, rec, "dst")?;
+                need_u64(line, rec, "src")?;
+                need_u64(line, rec, "attempt")?;
+                need_u64(line, rec, "backoff")?;
             }
             "frame_rx" | "link_bytes" | "link_excess" => {
                 need_u64(line, rec, "bytes")?;

@@ -12,6 +12,7 @@ pub mod e5;
 pub mod e6;
 pub mod e7;
 pub mod e8;
+pub mod e9;
 pub mod figures;
 pub mod obs;
 pub mod t1;
@@ -21,7 +22,8 @@ use crate::table::Table;
 
 /// All experiment ids, in document order.
 pub const ALL: &[&str] = &[
-    "t1", "t2", "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "a1", "a2", "obs",
+    "t1", "t2", "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2",
+    "obs",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -44,6 +46,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e6" => e6::run(),
         "e7" => e7::run(),
         "e8" => e8::run(),
+        "e9" => e9::run(),
         "a1" => ablation::run_a1(),
         "a2" => ablation::run_a2(),
         "obs" => obs::run(),

@@ -51,6 +51,21 @@ pub enum Error {
         /// Site whose counter went backwards.
         site: SiteId,
     },
+    /// The peer endpoint died mid-protocol (its driver thread panicked or
+    /// its process went away). The local endpoint's state is unusable but
+    /// the *replica* state it was synchronizing is untouched — callers
+    /// retry on the next contact.
+    PeerFailed {
+        /// The transport or protocol that lost its peer.
+        protocol: &'static str,
+    },
+    /// The link died mid-session: a disconnect, a truncated write, or a
+    /// fault-injected cut. Everything up to `after_bytes` was delivered;
+    /// the rest never arrived.
+    ConnectionLost {
+        /// Bytes delivered on the link before it died.
+        after_bytes: u64,
+    },
 }
 
 /// Errors raised while decoding wire bytes.
@@ -66,6 +81,15 @@ pub enum WireError {
     /// A message or payload body decoded structurally but its contents
     /// are invalid (e.g. malformed UTF-8 in a token payload).
     InvalidPayload,
+    /// A frame header declared a payload larger than the decoder's
+    /// configured maximum. Trusting such a length would let a corrupt or
+    /// hostile header (up to `u64::MAX`) buffer unbounded memory.
+    FrameTooLarge {
+        /// The declared payload length.
+        declared: u64,
+        /// The decoder's configured cap.
+        max: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -97,6 +121,12 @@ impl fmt::Display for Error {
             Error::ValueRegression { site } => {
                 write!(f, "element value for site {site} regressed")
             }
+            Error::PeerFailed { protocol } => {
+                write!(f, "{protocol}: peer endpoint failed mid-protocol")
+            }
+            Error::ConnectionLost { after_bytes } => {
+                write!(f, "connection lost after {after_bytes} bytes")
+            }
         }
     }
 }
@@ -108,6 +138,9 @@ impl fmt::Display for WireError {
             WireError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
             WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#x}"),
             WireError::InvalidPayload => write!(f, "malformed payload body"),
+            WireError::FrameTooLarge { declared, max } => {
+                write!(f, "frame declares {declared} payload bytes (max {max})")
+            }
         }
     }
 }
@@ -144,6 +177,14 @@ mod tests {
             Error::ValueRegression {
                 site: SiteId::new(2),
             },
+            Error::PeerFailed {
+                protocol: "mem transport",
+            },
+            Error::ConnectionLost { after_bytes: 17 },
+            Error::Wire(WireError::FrameTooLarge {
+                declared: u64::MAX,
+                max: 1 << 24,
+            }),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -227,6 +227,34 @@ pub enum SyncEvent {
         /// Excess bytes.
         bytes: u64,
     },
+    /// A session (or a whole contact) aborted before a clean close: the
+    /// link died, a frame was lost past the stall budget, or a peer
+    /// produced an unrecoverable protocol error. Nothing staged by the
+    /// aborted work is applied; the objects are re-pulled on the next
+    /// contact.
+    SessionAborted {
+        /// Enclosing contact id (0 outside a contact scope).
+        contact: u64,
+        /// Stream whose session aborted; 0 when the whole contact
+        /// (its control stream) went down.
+        stream: u64,
+        /// Stable snake_case abort reason (`"connection_lost"`,
+        /// `"peer_failed"`, `"decode_error"`, `"stalled"`, …).
+        reason: &'static str,
+    },
+    /// A gossip-layer retry of a failed contact, with its capped
+    /// exponential backoff.
+    Retry {
+        /// Site that initiated the contact (pull destination).
+        dst: u32,
+        /// Site it tried to contact (pull source).
+        src: u32,
+        /// 1-based attempt number that just failed.
+        attempt: u64,
+        /// Rounds the peer is quarantined before the next attempt
+        /// (0 = retried within the same round).
+        backoff: u64,
+    },
 }
 
 impl SyncEvent {
@@ -249,6 +277,8 @@ impl SyncEvent {
             SyncEvent::GossipRound { .. } => "gossip_round",
             SyncEvent::LinkBytes { .. } => "link_bytes",
             SyncEvent::LinkExcess { .. } => "link_excess",
+            SyncEvent::SessionAborted { .. } => "session_aborted",
+            SyncEvent::Retry { .. } => "retry",
         }
     }
 
@@ -382,6 +412,23 @@ impl SyncEvent {
             SyncEvent::LinkExcess { bytes } => {
                 format!("{{\"ev\":\"{kind}\",\"bytes\":{bytes}}}")
             }
+            SyncEvent::SessionAborted {
+                contact,
+                stream,
+                reason,
+            } => format!(
+                "{{\"ev\":\"{kind}\",\"contact\":{contact},\"stream\":{stream},\
+                 \"reason\":\"{reason}\"}}"
+            ),
+            SyncEvent::Retry {
+                dst,
+                src,
+                attempt,
+                backoff,
+            } => format!(
+                "{{\"ev\":\"{kind}\",\"dst\":{dst},\"src\":{src},\
+                 \"attempt\":{attempt},\"backoff\":{backoff}}}"
+            ),
         }
     }
 }
@@ -791,6 +838,22 @@ mod dispatch {
                 CURRENT_CONTACT.with(|c| c.set(0));
             }
         }
+
+        /// Emits `SessionAborted` (stream 0 = the whole contact) and
+        /// ends the scope without a `ContactEnd`: an aborted contact has
+        /// no meaningful final byte totals, so sinks treat it as
+        /// discarded rather than conserved.
+        pub fn abort(mut self, reason: &'static str) {
+            if self.open {
+                self.open = false;
+                emit(&SyncEvent::SessionAborted {
+                    contact: self.id,
+                    stream: 0,
+                    reason,
+                });
+                CURRENT_CONTACT.with(|c| c.set(0));
+            }
+        }
     }
 
     impl Drop for ContactScope {
@@ -884,6 +947,10 @@ mod dispatch {
         /// No-op without the `obs` feature.
         #[inline(always)]
         pub fn close(self, _round_trips: u64, _totals: super::SessionTotals) {}
+
+        /// No-op without the `obs` feature.
+        #[inline(always)]
+        pub fn abort(self, _reason: &'static str) {}
     }
 }
 
@@ -891,6 +958,20 @@ pub use dispatch::{
     contact_scope, current_contact, current_session, emit, enabled, session_scope, wants_oracle,
     with, ContactScope, SessionScope,
 };
+
+/// Locks `mutex`, recovering the data if a previous holder panicked.
+///
+/// The diagnostic sinks guard plain data (an event buffer, a writer, a
+/// check table) whose invariants hold between `record` calls, so a
+/// poisoned lock — e.g. a `CheckSink` assertion panicking mid-record on
+/// another test thread — must not cascade `PoisonError` panics into
+/// unrelated sessions sharing the sink.
+#[cfg(feature = "obs")]
+fn lock_recovering<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A bounded in-memory event log for post-mortem inspection in tests.
 #[cfg(feature = "obs")]
@@ -912,19 +993,19 @@ impl RingSink {
 
     /// The buffered events, oldest first.
     pub fn events(&self) -> Vec<SyncEvent> {
-        self.buf.lock().unwrap().iter().cloned().collect()
+        lock_recovering(&self.buf).iter().cloned().collect()
     }
 
     /// Drops all buffered events.
     pub fn clear(&self) {
-        self.buf.lock().unwrap().clear();
+        lock_recovering(&self.buf).clear();
     }
 }
 
 #[cfg(feature = "obs")]
 impl Sink for RingSink {
     fn record(&self, event: &SyncEvent) {
-        let mut buf = self.buf.lock().unwrap();
+        let mut buf = lock_recovering(&self.buf);
         if buf.len() == self.cap {
             buf.pop_front();
         }
@@ -965,14 +1046,14 @@ impl JsonlSink {
     ///
     /// Propagates flush errors.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.out.lock().unwrap().flush()
+        lock_recovering(&self.out).flush()
     }
 }
 
 #[cfg(feature = "obs")]
 impl Sink for JsonlSink {
     fn record(&self, event: &SyncEvent) {
-        let mut out = self.out.lock().unwrap();
+        let mut out = lock_recovering(&self.out);
         // A full sink is not worth a panic inside a protocol run.
         let _ = writeln!(out, "{}", event.to_json());
     }
@@ -981,9 +1062,7 @@ impl Sink for JsonlSink {
 #[cfg(feature = "obs")]
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        if let Ok(mut out) = self.out.lock() {
-            let _ = out.flush();
-        }
+        let _ = lock_recovering(&self.out).flush();
     }
 }
 
@@ -1021,6 +1100,7 @@ struct CheckState {
     checked_sessions: u64,
     checked_contacts: u64,
     checked_compares: u64,
+    aborted: u64,
 }
 
 #[cfg(feature = "obs")]
@@ -1043,17 +1123,23 @@ impl CheckSink {
 
     /// Number of sessions whose close-time invariants were checked.
     pub fn checked_sessions(&self) -> u64 {
-        self.state.lock().unwrap().checked_sessions
+        lock_recovering(&self.state).checked_sessions
     }
 
     /// Number of contacts whose byte conservation was checked.
     pub fn checked_contacts(&self) -> u64 {
-        self.state.lock().unwrap().checked_contacts
+        lock_recovering(&self.state).checked_contacts
     }
 
     /// Number of COMPARE verdicts checked against the oracle.
     pub fn checked_compares(&self) -> u64 {
-        self.state.lock().unwrap().checked_compares
+        lock_recovering(&self.state).checked_compares
+    }
+
+    /// Number of aborted sessions/contacts whose pending state was
+    /// discarded rather than conservation-checked.
+    pub fn aborted(&self) -> u64 {
+        lock_recovering(&self.state).aborted
     }
 }
 
@@ -1064,7 +1150,7 @@ impl Sink for CheckSink {
     }
 
     fn record(&self, event: &SyncEvent) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recovering(&self.state);
         match event {
             SyncEvent::SessionOpen {
                 session,
@@ -1196,6 +1282,21 @@ impl Sink for CheckSink {
                     );
                     state.checked_contacts += 1;
                 }
+            }
+            SyncEvent::SessionAborted {
+                contact, stream, ..
+            } => {
+                // An aborted contact never emits `ContactEnd`, so its
+                // pending frame attribution is discarded rather than
+                // conservation-checked; likewise any sessions opened
+                // under it never close. Dropping the pending state here
+                // keeps the "begun but never ended" discipline intact
+                // for the contacts that *should* close cleanly.
+                if *stream == 0 {
+                    state.contacts.remove(contact);
+                    state.sessions.clear();
+                }
+                state.aborted += 1;
             }
             _ => {}
         }
@@ -1455,6 +1556,105 @@ mod tests {
                     cost_bytes: 0,
                 });
             });
+        }
+
+        #[test]
+        fn contact_abort_skips_conservation_check() {
+            let check = Arc::new(CheckSink::new());
+            let ring = Arc::new(RingSink::new(16));
+            with(check.clone(), || {
+                with(ring.clone(), || {
+                    let scope = contact_scope(2);
+                    let id = scope.id();
+                    // Frame attribution that would fail conservation if
+                    // the contact were closed with empty totals.
+                    emit(&SyncEvent::FrameTx {
+                        contact: id,
+                        stream: 1,
+                        client: true,
+                        compare: 3,
+                        meta: 1,
+                        framing: 2,
+                        payload: 0,
+                    });
+                    scope.abort("connection_lost");
+                    assert_eq!(current_contact(), 0, "abort clears the scope");
+                });
+            });
+            assert_eq!(check.checked_contacts(), 0);
+            assert_eq!(check.aborted(), 1);
+            let aborts: Vec<_> = ring
+                .events()
+                .into_iter()
+                .filter(|e| matches!(e, SyncEvent::SessionAborted { .. }))
+                .collect();
+            assert_eq!(aborts.len(), 1);
+            let SyncEvent::SessionAborted {
+                contact,
+                stream,
+                reason,
+            } = &aborts[0]
+            else {
+                unreachable!()
+            };
+            assert_ne!(*contact, 0);
+            assert_eq!(*stream, 0);
+            assert_eq!(*reason, "connection_lost");
+        }
+
+        #[test]
+        fn sinks_recover_from_poisoned_locks() {
+            // CheckSink: poison its state lock by panicking inside
+            // `record` (an oracle disagreement asserts under the lock).
+            let check = Arc::new(CheckSink::new());
+            {
+                let check = check.clone();
+                let _ = std::thread::spawn(move || {
+                    check.record(&SyncEvent::Compare {
+                        session: 1,
+                        relation: Causality::Before,
+                        oracle: Some(Causality::Concurrent),
+                        cost_bytes: 0,
+                    });
+                })
+                .join();
+            }
+            // The lock is poisoned; reads and further records still work.
+            assert_eq!(check.checked_compares(), 0);
+            check.record(&SyncEvent::Compare {
+                session: 2,
+                relation: Causality::Before,
+                oracle: Some(Causality::Before),
+                cost_bytes: 0,
+            });
+            assert_eq!(check.checked_compares(), 1);
+
+            // JsonlSink: poison its writer lock with a writer that
+            // panics exactly once.
+            struct Fused(bool);
+            impl std::io::Write for Fused {
+                fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                    if self.0 {
+                        self.0 = false;
+                        panic!("writer blew up");
+                    }
+                    Ok(buf.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    Ok(())
+                }
+            }
+            let jsonl = Arc::new(JsonlSink::new(Box::new(Fused(true))));
+            {
+                let jsonl = jsonl.clone();
+                let _ = std::thread::spawn(move || {
+                    jsonl.record(&SyncEvent::GossipRound { round: 1 });
+                })
+                .join();
+            }
+            // Poisoned, but flush and record still go through.
+            jsonl.flush().unwrap();
+            jsonl.record(&SyncEvent::GossipRound { round: 2 });
         }
 
         #[test]

@@ -151,6 +151,34 @@ pub fn get_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
     Ok(Frame { stream, payload })
 }
 
+/// Default [`FrameDecoder`] payload cap: 16 MiB. Far above any frame the
+/// protocols produce, far below what a hostile length prefix can name.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 24;
+
+/// Decodes one varint from the front of `buf` without consuming it.
+///
+/// Returns `Ok(None)` on a short read, or the value and its encoded
+/// length. Error semantics match [`get_varint`].
+fn peek_varint(buf: &[u8]) -> Result<Option<(u64, usize)>, WireError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_LEN {
+        let Some(&byte) = buf.get(i) else {
+            return Ok(None);
+        };
+        let group = u64::from(byte & 0x7f);
+        if group.leading_zeros() < shift {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= group << shift;
+        if byte & 0x80 == 0 {
+            return Ok(Some((value, i + 1)));
+        }
+        shift += 7;
+    }
+    Err(WireError::VarintOverflow)
+}
+
 /// Incremental frame reassembler for byte-stream transports.
 ///
 /// Feed arbitrarily chopped chunks with [`push`](Self::push) and drain
@@ -158,6 +186,13 @@ pub fn get_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
 /// down to one byte at a time — is buffered until a whole frame is
 /// available; a genuinely malformed header (varint overflow) is still
 /// reported as an error rather than being mistaken for a short read.
+///
+/// The declared payload length is *not* trusted: lengths above the
+/// decoder's `max_frame` cap ([`DEFAULT_MAX_FRAME`] unless configured
+/// with [`with_max_frame`](Self::with_max_frame)) are rejected with
+/// [`WireError::FrameTooLarge`] before a single payload byte is buffered,
+/// so a corrupt or hostile header near `u32::MAX`/`u64::MAX` cannot make
+/// the decoder reserve unbounded memory.
 ///
 /// ```
 /// use optrep_core::wire::FrameDecoder;
@@ -169,15 +204,38 @@ pub fn get_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
 /// assert_eq!(frame.stream, 7);
 /// assert_eq!(&frame.payload[..], b"hi");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: BytesMut,
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder {
+            buf: BytesMut::new(),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
 }
 
 impl FrameDecoder {
-    /// Creates an empty decoder.
+    /// Creates an empty decoder with the [`DEFAULT_MAX_FRAME`] cap.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty decoder rejecting payloads above `max_frame`.
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        FrameDecoder {
+            buf: BytesMut::new(),
+            max_frame,
+        }
+    }
+
+    /// The configured payload cap.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
     }
 
     /// Appends raw bytes received from the transport.
@@ -196,26 +254,34 @@ impl FrameDecoder {
     ///
     /// # Errors
     ///
-    /// Returns [`WireError::VarintOverflow`] if a buffered header varint is
-    /// malformed — that can never become valid with more input.
+    /// Returns [`WireError::VarintOverflow`] if a buffered header varint
+    /// is malformed and [`WireError::FrameTooLarge`] if the header
+    /// declares a payload above the cap — neither can become valid with
+    /// more input.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
-        // Parse the header from a cheap clone; only commit (split off) once
-        // the whole frame is known to be present.
-        let mut probe = Bytes::from(self.buf[..].to_vec());
-        let stream = match get_varint(&mut probe) {
-            Ok(v) => v,
-            Err(WireError::UnexpectedEof) => return Ok(None),
-            Err(e) => return Err(e),
+        // Parse the header in place; only commit (split off) once the
+        // whole frame is known to be present.
+        let Some((stream, stream_len)) = peek_varint(&self.buf)? else {
+            return Ok(None);
         };
-        let payload_len = match get_varint(&mut probe) {
-            Ok(v) => v as usize,
-            Err(WireError::UnexpectedEof) => return Ok(None),
-            Err(e) => return Err(e),
+        let Some((payload_len, len_len)) = peek_varint(&self.buf[stream_len..])? else {
+            return Ok(None);
         };
-        if probe.remaining() < payload_len {
+        if payload_len > self.max_frame as u64 {
+            return Err(WireError::FrameTooLarge {
+                declared: payload_len,
+                max: self.max_frame as u64,
+            });
+        }
+        let payload_len = payload_len as usize;
+        let header_len = stream_len + len_len;
+        if self.buf.len() - header_len < payload_len {
+            // The declared length is now known to be within the cap, so
+            // pre-reserving the rest of the frame is bounded.
+            self.buf
+                .reserve((header_len + payload_len).saturating_sub(self.buf.len()));
             return Ok(None);
         }
-        let header_len = self.buf.len() - probe.remaining();
         let _ = self.buf.split_to(header_len);
         let payload = self.buf.split_to(payload_len).freeze();
         crate::obs_emit!(crate::obs::SyncEvent::FrameRx {
@@ -358,5 +424,74 @@ mod tests {
         dec.push(&[0xff; 10]); // stream varint with bits beyond u64
         dec.push(&[0x7f]);
         assert_eq!(dec.next_frame(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_declared_length() {
+        // A header naming a payload just above the cap is rejected as soon
+        // as the header itself is complete — no payload bytes needed, no
+        // reservation attempted.
+        let mut dec = FrameDecoder::new();
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 3); // stream
+        put_varint(&mut buf, DEFAULT_MAX_FRAME as u64 + 1);
+        dec.push(&buf);
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLarge {
+                declared: DEFAULT_MAX_FRAME as u64 + 1,
+                max: DEFAULT_MAX_FRAME as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn frame_decoder_rejects_u32_and_u64_adjacent_lengths() {
+        for declared in [
+            u32::MAX as u64 - 1,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut dec = FrameDecoder::new();
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, 0);
+            put_varint(&mut buf, declared);
+            dec.push(&buf);
+            assert_eq!(
+                dec.next_frame(),
+                Err(WireError::FrameTooLarge {
+                    declared,
+                    max: DEFAULT_MAX_FRAME as u64,
+                }),
+                "declared length {declared}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_decoder_custom_cap_respected() {
+        let mut dec = FrameDecoder::with_max_frame(4);
+        assert_eq!(dec.max_frame(), 4);
+
+        // At the cap: accepted.
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, 1, b"abcd");
+        dec.push(&buf);
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(&frame.payload[..], b"abcd");
+
+        // One past the cap: rejected even though the bytes are all there.
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, 1, b"abcde");
+        dec.push(&buf);
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLarge {
+                declared: 5,
+                max: 4
+            })
+        );
     }
 }

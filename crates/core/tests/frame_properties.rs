@@ -113,8 +113,9 @@ proptest! {
     #[test]
     fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..96), chunk in 1usize..16) {
         // Byte soup either decodes to frames, waits for more input, or
-        // errors (oversized varint headers) — it must never panic, and an
-        // error must be sticky fatal rather than silently skipped.
+        // errors (oversized varint headers, payload lengths above the
+        // decoder cap) — it must never panic, and an error must be sticky
+        // fatal rather than silently skipped.
         let mut decoder = FrameDecoder::new();
         'outer: for piece in bytes.chunks(chunk) {
             decoder.push(piece);
@@ -122,7 +123,8 @@ proptest! {
                 match decoder.next_frame() {
                     Ok(Some(_)) => {}
                     Ok(None) => break,
-                    Err(WireError::VarintOverflow) => break 'outer,
+                    Err(WireError::VarintOverflow)
+                    | Err(WireError::FrameTooLarge { .. }) => break 'outer,
                     Err(e) => prop_assert!(false, "unexpected error {:?}", e),
                 }
             }

@@ -34,10 +34,10 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use optrep_core::error::WireError;
-use optrep_core::obs::{CounterSink, CounterSnapshot};
+use optrep_core::obs::{CounterSink, CounterSnapshot, SessionTotals};
 use optrep_core::sync::SyncOptions;
 use optrep_core::{wire, Causality, Result, RotatingVector, SiteId, Srv};
-use optrep_replication::mux::{run_contact, BatchPullClient, BatchPullServer};
+use optrep_replication::mux::{run_contact, BatchPullClient, BatchPullServer, ContactReport};
 use std::collections::BTreeMap;
 
 /// The stored state of one key: `None` is a tombstone (deleted).
@@ -244,6 +244,44 @@ impl KvStore {
         resolver: &R,
         _opts: SyncOptions,
     ) -> Result<KvSyncReport> {
+        self.sync_from_via(other, resolver, run_contact)
+    }
+
+    /// [`sync_from`](Self::sync_from) with the contact driven by `run` —
+    /// the hook for fault-injected transports
+    /// ([`optrep_replication::mux::run_contact_faulty`] over a seeded
+    /// link) and custom drivers.
+    ///
+    /// Application is transactional in both directions:
+    ///
+    /// * If `run` fails (link death, stall, decode error) **nothing**
+    ///   happened: no key, no metadata, no counter moved. A clean
+    ///   follow-up sync picks up exactly where this one left off.
+    /// * If `run` completes, every outcome is decoded and validated into
+    ///   a staging list *before* the first key is touched, so a corrupt
+    ///   payload mid-batch also leaves the store byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `run` and staging; on error no key is
+    /// modified.
+    pub fn sync_from_via<R, F>(
+        &mut self,
+        other: &KvStore,
+        resolver: &R,
+        run: F,
+    ) -> Result<KvSyncReport>
+    where
+        R: Resolver,
+        F: FnOnce(&mut BatchPullClient, &mut BatchPullServer) -> Result<ContactReport>,
+    {
+        enum Staged {
+            Create { value: Value },
+            FastForward { value: Value },
+            Reconcile { theirs: Value },
+            Clean,
+        }
+
         let mut client = BatchPullClient::new(
             self.entries
                 .iter()
@@ -256,8 +294,41 @@ impl KvStore {
                 encode_value(&entry.value),
             )
         }));
-        let contact = run_contact(&mut client, &mut server)?;
+        let contact = run(&mut client, &mut server)?;
 
+        // Stage: decode and validate everything before touching a key.
+        let mut staged: Vec<(String, Srv, SessionTotals, Staged)> = Vec::new();
+        for result in client.finish() {
+            let Some(outcome) = result.outcome else {
+                // Our key, absent on the source — or a stream that aborted
+                // mid-session: nothing is applied either way.
+                continue;
+            };
+            let key = String::from_utf8(result.name.to_vec())
+                .map_err(|_| optrep_core::Error::Wire(WireError::InvalidPayload))?;
+            let value_of = |payload: Option<Bytes>| -> Result<Value> {
+                let payload = payload.ok_or(optrep_core::Error::Wire(WireError::InvalidPayload))?;
+                decode_value(payload).map_err(optrep_core::Error::Wire)
+            };
+            let action = if result.discovered {
+                Staged::Create {
+                    value: value_of(outcome.payload)?,
+                }
+            } else {
+                match outcome.relation {
+                    Causality::Equal | Causality::After => Staged::Clean,
+                    Causality::Before => Staged::FastForward {
+                        value: value_of(outcome.payload)?,
+                    },
+                    Causality::Concurrent => Staged::Reconcile {
+                        theirs: value_of(outcome.payload)?,
+                    },
+                }
+            };
+            staged.push((key, outcome.vector, outcome.stats.totals(), action));
+        }
+
+        // Commit: infallible from here on.
         let totals = contact.totals();
         self.stats.record_contact(contact.round_trips);
         self.stats.absorb(&totals);
@@ -266,47 +337,26 @@ impl KvStore {
             value_bytes: totals.payload_bytes as usize,
             ..KvSyncReport::default()
         };
-        for result in client.finish() {
-            let Some(outcome) = result.outcome else {
-                // Our key, absent on the source: nothing travelled.
-                continue;
-            };
-            self.stats.absorb(&outcome.stats.totals());
+        for (key, meta, stream_totals, action) in staged {
+            self.stats.absorb(&stream_totals);
             report.keys_examined += 1;
-            let key = String::from_utf8(result.name.to_vec())
-                .map_err(|_| optrep_core::Error::Wire(WireError::InvalidPayload))?;
-            if result.discovered {
-                let value = decode_value(outcome.payload.expect("discovered keys transfer"))
-                    .map_err(optrep_core::Error::Wire)?;
-                self.entries.insert(
-                    key,
-                    Entry {
-                        meta: outcome.vector,
-                        value,
-                    },
-                );
-                report.keys_created += 1;
-                continue;
-            }
-            match outcome.relation {
-                Causality::Equal | Causality::After => {
-                    report.keys_unchanged += 1;
+            match action {
+                Staged::Clean => report.keys_unchanged += 1,
+                Staged::Create { value } => {
+                    self.entries.insert(key, Entry { meta, value });
+                    report.keys_created += 1;
                 }
-                Causality::Before => {
-                    let value = decode_value(outcome.payload.expect("fast-forward ships value"))
-                        .map_err(optrep_core::Error::Wire)?;
+                Staged::FastForward { value } => {
                     let ours = self.entries.get_mut(&key).expect("client named our key");
-                    ours.meta = outcome.vector;
+                    ours.meta = meta;
                     ours.value = value;
                     self.stats.record_fast_forward();
                     report.keys_fast_forwarded += 1;
                 }
-                Causality::Concurrent => {
-                    let theirs = decode_value(outcome.payload.expect("reconciliation ships value"))
-                        .map_err(optrep_core::Error::Wire)?;
+                Staged::Reconcile { theirs } => {
                     let ours = self.entries.get_mut(&key).expect("client named our key");
                     ours.value = resolver.resolve(&key, &ours.value, &theirs);
-                    ours.meta = outcome.vector;
+                    ours.meta = meta;
                     // Parker §C: the resolved version must dominate both
                     // parents.
                     ours.meta.record_update(self.site);
@@ -577,6 +627,42 @@ mod tests {
             let mut buf = bytes.slice(0..cut);
             assert!(KvStore::decode_snapshot(&mut buf).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn failed_contact_leaves_store_byte_identical() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("x", "1");
+        b.sync_from(&a, &JoinResolver).unwrap();
+        a.put("x", "2");
+        a.put("y", "fresh");
+        b.put("z", "local");
+        let snapshot = b.encode_snapshot();
+        let stats = b.stats();
+
+        // The contact dies partway through: endpoints exchange some
+        // frames, then the link cuts. Nothing may be applied.
+        let err = b
+            .sync_from_via(&a, &JoinResolver, |client, server| {
+                let hello = optrep_core::sync::Endpoint::poll_send(client).unwrap();
+                optrep_core::sync::Endpoint::on_receive(server, hello)?;
+                Err(optrep_core::Error::ConnectionLost { after_bytes: 17 })
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            optrep_core::Error::ConnectionLost { after_bytes: 17 }
+        ));
+        assert_eq!(b.encode_snapshot(), snapshot, "store must be untouched");
+        assert_eq!(b.stats(), stats, "no costs recorded for an aborted sync");
+
+        // A clean follow-up sync converges as if the abort never happened.
+        b.sync_from(&a, &JoinResolver).unwrap();
+        a.sync_from(&b, &JoinResolver).unwrap();
+        assert!(a.consistent_with(&b));
+        assert_eq!(b.get("x"), Some(&b"2"[..]));
+        assert_eq!(b.get("y"), Some(&b"fresh"[..]));
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //!   channels: the same endpoints run under real concurrency, which
 //!   exercises the asynchronous-NAK paths with genuine interleaving.
 //! * [`link`] — the shared byte counters used by both transports.
+//! * [`fault`] — deterministic seeded fault injection ([`FaultyLink`]):
+//!   frame drops, mid-write truncation, byte-exact disconnects and
+//!   silent stalls, for chaos experiments and recovery tests.
 
+pub mod fault;
 pub mod link;
 pub mod mem;
 pub mod sim;
 
+pub use fault::{mix_seed, FaultPlan, FaultStats, FaultyLink, TransmitOutcome};
 pub use link::LinkStats;
 pub use sim::{SimConfig, SimLink, SimReport};

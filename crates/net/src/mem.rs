@@ -21,15 +21,26 @@ use std::time::Duration;
 /// stalled.
 const STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Resolves an endpoint thread's join handle, converting a panic into
+/// [`Error::PeerFailed`] instead of re-panicking: one bad session must
+/// not abort the harness process, and the *other* endpoint's result (or
+/// error) stays observable by the caller.
+fn join_endpoint<T>(handle: thread::JoinHandle<Result<T>>, protocol: &'static str) -> Result<T> {
+    handle
+        .join()
+        .unwrap_or_else(|_| Err(Error::PeerFailed { protocol }))
+}
+
 /// Runs two endpoints to completion on separate threads.
 ///
 /// Returns the endpoints (with their final state) and the link counters.
 ///
 /// # Errors
 ///
-/// Propagates the first endpoint error, and returns
-/// [`Error::Incomplete`] if an endpoint waits more than five seconds
-/// without input while the protocol is unfinished.
+/// Propagates the first endpoint error, returns [`Error::Incomplete`]
+/// if an endpoint waits more than five seconds without input while the
+/// protocol is unfinished, and [`Error::PeerFailed`] if an endpoint
+/// thread panicked.
 pub fn run_pair<A, B, M>(a: A, b: B) -> Result<(A, B, LinkStats)>
 where
     M: WireMsg + Send + 'static,
@@ -46,8 +57,8 @@ where
     let ja = thread::spawn(move || endpoint_loop(a, tx_ab, rx_ba));
     let jb = thread::spawn(move || endpoint_loop(b, tx_ba, rx_ab));
 
-    let (a, bytes_ab, msgs_ab) = ja.join().expect("endpoint thread panicked")?;
-    let (b, bytes_ba, msgs_ba) = jb.join().expect("endpoint thread panicked")?;
+    let (a, bytes_ab, msgs_ab) = join_endpoint(ja, "mem transport")?;
+    let (b, bytes_ba, msgs_ba) = join_endpoint(jb, "mem transport")?;
     Ok((
         a,
         b,
@@ -119,7 +130,8 @@ where
 /// # Errors
 ///
 /// Propagates the first endpoint or decode error, and returns
-/// [`Error::Incomplete`] on a stall (see [`run_pair`]).
+/// [`Error::Incomplete`] on a stall or [`Error::PeerFailed`] on an
+/// endpoint-thread panic (see [`run_pair`]).
 ///
 /// # Panics
 ///
@@ -139,8 +151,8 @@ where
     let ja = thread::spawn(move || stream_loop(a, tx_ab, rx_ba, chunk));
     let jb = thread::spawn(move || stream_loop(b, tx_ba, rx_ab, chunk));
 
-    let (a, bytes_ab, msgs_ab) = ja.join().expect("endpoint thread panicked")?;
-    let (b, bytes_ba, msgs_ba) = jb.join().expect("endpoint thread panicked")?;
+    let (a, bytes_ab, msgs_ab) = join_endpoint(ja, "mem stream transport")?;
+    let (b, bytes_ba, msgs_ba) = join_endpoint(jb, "mem stream transport")?;
     Ok((
         a,
         b,
@@ -347,6 +359,59 @@ mod tests {
         let (_, rx, _) = run_pair_stream(tx, rx, 64 * 1024).unwrap();
         let (out, _) = rx.0.finish();
         assert_eq!(out, b);
+    }
+
+    /// An endpoint that panics as soon as it is polled.
+    struct PanicEndpoint;
+
+    impl Endpoint for PanicEndpoint {
+        type Msg = optrep_core::sync::Msg;
+
+        fn poll_send(&mut self) -> Option<Self::Msg> {
+            panic!("endpoint blew up");
+        }
+
+        fn on_receive(&mut self, _msg: Self::Msg) -> Result<()> {
+            unreachable!()
+        }
+
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn panicking_endpoint_is_an_error_not_a_crash() {
+        let mut b = Brv::new();
+        b.record_update(s(0));
+        let tx = VectorSender::new(b);
+        // The panicking side first: its join resolves immediately, so the
+        // pair fails fast instead of waiting out the peer's stall budget.
+        let Err(err) = run_pair(PanicEndpoint, tx) else {
+            panic!("panicking endpoint must fail the pair");
+        };
+        assert_eq!(
+            err,
+            Error::PeerFailed {
+                protocol: "mem transport"
+            }
+        );
+    }
+
+    #[test]
+    fn panicking_endpoint_is_an_error_on_byte_streams_too() {
+        let mut b = Brv::new();
+        b.record_update(s(0));
+        let tx = OneStream(VectorSender::new(b), 1);
+        let Err(err) = run_pair_stream(OneStream(PanicEndpoint, 1), tx, 4) else {
+            panic!("panicking endpoint must fail the pair");
+        };
+        assert_eq!(
+            err,
+            Error::PeerFailed {
+                protocol: "mem stream transport"
+            }
+        );
     }
 
     #[test]

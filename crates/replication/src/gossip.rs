@@ -7,16 +7,19 @@
 //! aggregated into [`ClusterStats`], which the benchmark harness reads.
 
 use crate::meta::ReplicaMeta;
-use crate::mux::{run_contact, BatchPullClient, BatchPullServer, ContactReport};
+use crate::mux::{
+    run_contact, run_contact_faulty, BatchPullClient, BatchPullServer, ContactReport,
+};
 use crate::object::ObjectId;
 use crate::payload::{ReplicaPayload, WirePayload};
 use crate::reconcile::Reconciler;
 use crate::session::{sync_replica, Outcome, SessionReport};
 use crate::site::{Site, StateReplica};
 use bytes::{Bytes, BytesMut};
-use optrep_core::obs::{self, CounterSink, CounterSnapshot};
+use optrep_core::obs::{self, CounterSink, CounterSnapshot, SessionTotals};
 use optrep_core::sync::SyncOptions;
-use optrep_core::{obs_emit, wire, Causality, Result, SiteId, Srv};
+use optrep_core::{obs_emit, wire, Causality, Error, Result, SiteId, Srv};
+use optrep_net::{mix_seed, FaultPlan, FaultyLink};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -46,6 +49,72 @@ impl std::ops::Deref for ClusterSnapshot {
 /// Historical name of the cluster's aggregate statistics.
 pub type ClusterStats = ClusterSnapshot;
 
+/// Retry discipline for contacts that abort mid-stream: how often to
+/// retry within a round, and how the per-peer quarantine backoff grows
+/// once retries are exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per (dst, src) pairing within one round before the source
+    /// peer is quarantined.
+    pub max_attempts: u32,
+    /// Quarantine length (in rounds) after the first exhausted pairing;
+    /// doubles per consecutive failure.
+    pub backoff_base: u64,
+    /// Upper bound on the quarantine length (rounds).
+    pub backoff_cap: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: 1,
+            backoff_cap: 8,
+        }
+    }
+}
+
+/// Per-peer failure accounting for quarantine decisions.
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerHealth {
+    /// Consecutive exhausted-retry failures serving as a source.
+    failures: u32,
+    /// The peer is not used as a source while `rounds <= quarantined_until`.
+    quarantined_until: u64,
+}
+
+/// What one resilient gossip round actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Contacts that completed and were committed.
+    pub contacts: u64,
+    /// Contact attempts that aborted (each either retried or exhausted).
+    pub aborted: u64,
+    /// Retries performed after an abort.
+    pub retries: u64,
+    /// Sites that could not pull at all (every candidate source
+    /// quarantined).
+    pub skipped: u64,
+}
+
+/// The coordinates of one contact attempt, passed to the contact runner
+/// of [`Cluster::gossip_round_resilient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ContactEnv {
+    /// Gossip round number (1-based, monotonic across the cluster).
+    pub round: u64,
+    /// Pulling site.
+    pub dst: SiteId,
+    /// Serving site.
+    pub src: SiteId,
+    /// Attempt number for this pairing within the round (1-based).
+    pub attempt: u64,
+    /// Seed salt unique to this attempt — feed it to
+    /// [`FaultPlan::reseeded`] so a retry does not replay the identical
+    /// fault pattern.
+    pub salt: u64,
+}
+
 /// A cluster of sites sharing replicated objects, synchronized by gossip.
 #[derive(Debug, Clone)]
 pub struct Cluster<M, P, R> {
@@ -54,6 +123,7 @@ pub struct Cluster<M, P, R> {
     opts: SyncOptions,
     stats: CounterSink,
     rounds: u64,
+    health: Vec<PeerHealth>,
 }
 
 /// Routes one session's costs and outcome into a [`CounterSink`] — the
@@ -83,7 +153,15 @@ where
             opts: SyncOptions::default(),
             stats: CounterSink::new(),
             rounds: 0,
+            health: vec![PeerHealth::default(); n as usize],
         }
+    }
+
+    /// `true` while `site` is quarantined as a gossip source (its recent
+    /// contacts exhausted their retries).
+    pub fn quarantined(&self, site: SiteId) -> bool {
+        let h = &self.health[site.index() as usize];
+        h.quarantined_until != 0 && self.rounds <= h.quarantined_until
     }
 
     /// Number of sites.
@@ -254,6 +332,17 @@ where
     }
 }
 
+/// The capped-exponential backoff for the `n`-th consecutive failure
+/// (1-based): `min(base << (n-1), cap)` rounds.
+fn capped_backoff(policy: RetryPolicy, n: u64) -> u64 {
+    let shift = u32::try_from(n.saturating_sub(1)).unwrap_or(u32::MAX);
+    policy
+        .backoff_base
+        .checked_shl(shift)
+        .unwrap_or(u64::MAX)
+        .min(policy.backoff_cap)
+}
+
 /// Wire name of an object on a multiplexed contact: its index as a varint.
 fn object_name(object: ObjectId) -> Bytes {
     let mut buf = BytesMut::new();
@@ -292,6 +381,42 @@ where
     ///
     /// Panics if `dst == src` or either id is out of range.
     pub fn contact(&mut self, dst: SiteId, src: SiteId) -> Result<ContactReport> {
+        let (mut client, mut server) = self.endpoints(dst, src);
+        let report = run_contact(&mut client, &mut server)?;
+        self.apply_contact(dst, client, &report)?;
+        Ok(report)
+    }
+
+    /// [`contact`](Self::contact) over a fault-injected link. On any
+    /// link death, stall or decode error the contact aborts and `dst` is
+    /// left **exactly** as it was — staged outcomes are discarded, no
+    /// stats are recorded, no replica is touched — so the caller can
+    /// simply retry on a re-seeded link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates link faults ([`Error::ConnectionLost`],
+    /// [`Error::Incomplete`]) and protocol/wire errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src` or either id is out of range.
+    pub fn contact_faulty(
+        &mut self,
+        dst: SiteId,
+        src: SiteId,
+        link: &mut FaultyLink,
+    ) -> Result<ContactReport> {
+        let (mut client, mut server) = self.endpoints(dst, src);
+        let report = run_contact_faulty(&mut client, &mut server, link)?;
+        self.apply_contact(dst, client, &report)?;
+        Ok(report)
+    }
+
+    /// Builds the pull endpoints for one contact without touching either
+    /// site: the server side snapshots `src`'s replicas, the client side
+    /// snapshots `dst`'s metadata.
+    fn endpoints(&self, dst: SiteId, src: SiteId) -> (BatchPullClient, BatchPullServer) {
         assert_ne!(dst, src, "a site does not sync with itself");
         let src_site = &self.sites[src.index() as usize];
         let server_objects: Vec<(Bytes, Srv, Bytes)> = src_site
@@ -315,51 +440,92 @@ where
                 (object_name(object), replica.meta.clone())
             })
             .collect();
+        (
+            BatchPullClient::new(client_objects),
+            BatchPullServer::new(server_objects),
+        )
+    }
 
-        let mut client = BatchPullClient::new(client_objects);
-        let mut server = BatchPullServer::new(server_objects);
-        let report = run_contact(&mut client, &mut server)?;
+    /// Applies a completed contact to `dst` transactionally: every
+    /// outcome is decoded and validated into a staging list first, and
+    /// only if the *whole* contact stages cleanly are replicas mutated
+    /// and stats recorded. A decode error mid-stage therefore leaves
+    /// `dst` byte-identical to its pre-contact state.
+    fn apply_contact(
+        &mut self,
+        dst: SiteId,
+        client: BatchPullClient,
+        report: &ContactReport,
+    ) -> Result<()> {
+        enum Staged<P> {
+            Discovered { meta: Srv, payload: P },
+            FastForward { meta: Srv, payload: P },
+            Reconcile { meta: Srv, theirs: P },
+            Clean,
+        }
 
-        self.stats.record_contact(report.round_trips);
-        self.stats.absorb(&report.totals());
+        fn payload_of<P: WirePayload>(data: Option<Bytes>, what: &'static str) -> Result<P> {
+            let mut data = data.ok_or_else(|| Error::UnexpectedMessage {
+                protocol: "mux apply",
+                message: format!("{what} outcome without payload"),
+            })?;
+            P::decode_payload(&mut data).map_err(Error::Wire)
+        }
 
-        let dst_site = &mut self.sites[dst.index() as usize];
+        // Stage: no site mutation, no stats; any error exits here.
+        let mut staged: Vec<(ObjectId, SessionTotals, Staged<P>)> = Vec::new();
         for result in client.finish() {
             let object = object_from_name(&result.name)?;
             let Some(outcome) = result.outcome else {
-                // `dst` hosts an object `src` does not; nothing travelled.
+                // `dst` hosts an object `src` does not, or the stream
+                // aborted mid-session; either way nothing is applied and
+                // the object is re-pulled on the next contact.
                 continue;
             };
-            dst_site.stats_mut().syncs_received += 1;
-            self.stats.absorb(&outcome.stats.totals());
-            if result.discovered {
-                let mut data = outcome.payload.expect("discovered objects transfer");
-                let payload = P::decode_payload(&mut data).map_err(optrep_core::Error::Wire)?;
-                dst_site.insert_replica(
-                    object,
-                    StateReplica {
+            let totals = outcome.stats.totals();
+            let action = if result.discovered {
+                Staged::Discovered {
+                    meta: outcome.vector,
+                    payload: payload_of(outcome.payload, "discovery")?,
+                }
+            } else {
+                match outcome.relation {
+                    Causality::Equal | Causality::After => Staged::Clean,
+                    Causality::Before => Staged::FastForward {
                         meta: outcome.vector,
-                        payload,
+                        payload: payload_of(outcome.payload, "fast-forward")?,
                     },
-                );
-                continue;
-            }
-            match outcome.relation {
-                Causality::Equal | Causality::After => {}
-                Causality::Before => {
-                    let mut data = outcome.payload.expect("fast-forward transfers state");
-                    let payload = P::decode_payload(&mut data).map_err(optrep_core::Error::Wire)?;
+                    Causality::Concurrent => Staged::Reconcile {
+                        meta: outcome.vector,
+                        theirs: payload_of(outcome.payload, "reconciliation")?,
+                    },
+                }
+            };
+            staged.push((object, totals, action));
+        }
+
+        // Commit: infallible from here on.
+        self.stats.record_contact(report.round_trips);
+        self.stats.absorb(&report.totals());
+        let dst_site = &mut self.sites[dst.index() as usize];
+        for (object, totals, action) in staged {
+            dst_site.stats_mut().syncs_received += 1;
+            self.stats.absorb(&totals);
+            match action {
+                Staged::Clean => {}
+                Staged::Discovered { meta, payload } => {
+                    dst_site.insert_replica(object, StateReplica { meta, payload });
+                }
+                Staged::FastForward { meta, payload } => {
                     let replica = dst_site.replica_mut(object).expect("named by client");
-                    replica.meta = outcome.vector;
+                    replica.meta = meta;
                     replica.payload = payload;
                     self.stats.record_fast_forward();
                 }
-                Causality::Concurrent => {
-                    let mut data = outcome.payload.expect("reconciliation transfers state");
-                    let theirs = P::decode_payload(&mut data).map_err(optrep_core::Error::Wire)?;
+                Staged::Reconcile { meta, theirs } => {
                     let replica = dst_site.replica_mut(object).expect("named by client");
                     replica.payload = self.reconciler.merge(&replica.payload, &theirs);
-                    replica.meta = outcome.vector;
+                    replica.meta = meta;
                     // Parker §C: increment after reconciliation to restore
                     // the front-element invariant for the O(1) COMPARE.
                     ReplicaMeta::record_update(&mut replica.meta, dst);
@@ -370,7 +536,27 @@ where
                 }
             }
         }
-        Ok(report)
+        Ok(())
+    }
+
+    /// A byte-exact fingerprint of one site's replicas — metadata
+    /// snapshots and encoded payloads — used to assert that aborted
+    /// contacts left the site untouched (see the chaos tests and
+    /// `tests/fault_recovery.rs`).
+    pub fn site_digest(&self, site: SiteId) -> Vec<u8> {
+        let s = &self.sites[site.index() as usize];
+        let mut buf = BytesMut::new();
+        for object in s.objects() {
+            let replica = s.replica(object).expect("listed object exists");
+            wire::put_varint(&mut buf, object.index());
+            let meta = replica.meta.encode_snapshot();
+            wire::put_varint(&mut buf, meta.len() as u64);
+            buf.extend_from_slice(&meta);
+            let payload = replica.payload.encode_payload();
+            wire::put_varint(&mut buf, payload.len() as u64);
+            buf.extend_from_slice(&payload);
+        }
+        buf.to_vec()
     }
 
     /// One gossip round through the mux engine: every site pulls **all**
@@ -412,6 +598,139 @@ where
             }
         }
         Ok(None)
+    }
+
+    /// One mux gossip round that survives contact failures. Each site
+    /// pulls from one uniformly random **non-quarantined** peer; `run`
+    /// drives the actual contact (typically [`run_contact_faulty`] over a
+    /// re-seeded link). An aborted contact is retried up to
+    /// `policy.max_attempts` times with a capped-exponential backoff —
+    /// each retry emits [`obs::SyncEvent::Retry`] — and once retries are
+    /// exhausted the *source* peer is quarantined for
+    /// `min(base << (failures-1), cap)` rounds. A successful contact
+    /// resets the source's failure history.
+    ///
+    /// An aborted attempt commits nothing: `dst`'s replicas are asserted
+    /// (in debug builds) to be byte-identical to their pre-attempt state.
+    ///
+    /// # Errors
+    ///
+    /// Link faults are absorbed into the report; only local staging
+    /// errors (protocol violations on a *completed* contact) propagate.
+    pub fn gossip_round_resilient<G, F>(
+        &mut self,
+        rng: &mut G,
+        policy: RetryPolicy,
+        mut run: F,
+    ) -> Result<RoundReport>
+    where
+        G: Rng,
+        F: FnMut(ContactEnv, &mut BatchPullClient, &mut BatchPullServer) -> Result<ContactReport>,
+    {
+        self.rounds += 1;
+        obs_emit!(obs::SyncEvent::GossipRound { round: self.rounds });
+        let n = self.sites.len() as u32;
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(rng);
+        let mut report = RoundReport::default();
+        for dst in order {
+            let candidates: Vec<u32> = (0..n)
+                .filter(|&s| s != dst && !self.quarantined(SiteId::new(s)))
+                .collect();
+            let Some(&src) = candidates.choose(rng) else {
+                report.skipped += 1;
+                continue;
+            };
+            let (dst, src) = (SiteId::new(dst), SiteId::new(src));
+            let digest_before = self.site_digest(dst);
+            for attempt in 1..=u64::from(policy.max_attempts.max(1)) {
+                let env = ContactEnv {
+                    round: self.rounds,
+                    dst,
+                    src,
+                    attempt,
+                    salt: mix_seed(self.rounds, (u64::from(dst.index()) << 16) | attempt),
+                };
+                let (mut client, mut server) = self.endpoints(dst, src);
+                match run(env, &mut client, &mut server) {
+                    Ok(contact_report) => {
+                        self.apply_contact(dst, client, &contact_report)?;
+                        self.health[src.index() as usize] = PeerHealth::default();
+                        report.contacts += 1;
+                        break;
+                    }
+                    Err(_) => {
+                        report.aborted += 1;
+                        debug_assert_eq!(
+                            self.site_digest(dst),
+                            digest_before,
+                            "aborted contact mutated {dst}"
+                        );
+                        if attempt < u64::from(policy.max_attempts.max(1)) {
+                            let backoff = capped_backoff(policy, attempt);
+                            report.retries += 1;
+                            obs_emit!(obs::SyncEvent::Retry {
+                                dst: dst.index(),
+                                src: src.index(),
+                                attempt,
+                                backoff,
+                            });
+                        } else {
+                            let health = &mut self.health[src.index() as usize];
+                            health.failures += 1;
+                            health.quarantined_until =
+                                self.rounds + capped_backoff(policy, u64::from(health.failures));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// [`gossip_round_resilient`](Self::gossip_round_resilient) with every
+    /// contact run over a [`FaultyLink`]: each attempt derives its own
+    /// link from `plan` re-seeded by the attempt's salt, so retries see
+    /// fresh (but still deterministic) weather instead of replaying the
+    /// exact fault that killed them.
+    ///
+    /// # Errors
+    ///
+    /// See [`gossip_round_resilient`](Self::gossip_round_resilient).
+    pub fn gossip_round_faulty<G: Rng>(
+        &mut self,
+        rng: &mut G,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+    ) -> Result<RoundReport> {
+        self.gossip_round_resilient(rng, policy, |env, client, server| {
+            let mut link = FaultyLink::new(plan.reseeded(env.salt));
+            run_contact_faulty(client, server, &mut link)
+        })
+    }
+
+    /// Runs faulty gossip rounds until every hosted object is consistent,
+    /// up to `max_rounds`. Returns `(rounds_taken, per-round reports)`;
+    /// `rounds_taken` is `None` if the budget ran out.
+    ///
+    /// # Errors
+    ///
+    /// See [`gossip_round_resilient`](Self::gossip_round_resilient).
+    pub fn converge_faulty<G: Rng>(
+        &mut self,
+        rng: &mut G,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        max_rounds: u64,
+    ) -> Result<(Option<u64>, Vec<RoundReport>)> {
+        let mut reports = Vec::new();
+        for round in 1..=max_rounds {
+            reports.push(self.gossip_round_faulty(rng, plan, policy)?);
+            if self.is_consistent_all() {
+                return Ok((Some(round), reports));
+            }
+        }
+        Ok((None, reports))
     }
 }
 
@@ -584,6 +903,115 @@ mod tests {
         let repeat = cluster.contact(SiteId::new(1), SiteId::new(0)).unwrap();
         assert_eq!(repeat.round_trips, 1);
         assert_eq!(repeat.payload_bytes, 0);
+    }
+
+    #[test]
+    fn aborted_contact_leaves_dst_untouched() {
+        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(2, UnionReconciler);
+        for i in 0..4u64 {
+            cluster
+                .site_mut(SiteId::new(0))
+                .create_object(ObjectId::new(i), TokenSet::singleton(format!("o{i}")));
+        }
+        // Give site 1 a diverged copy of object 0 so a real transfer is due.
+        cluster
+            .site_mut(SiteId::new(1))
+            .create_object(ObjectId::new(0), TokenSet::singleton("mine"));
+        let before = cluster.site_digest(SiteId::new(1));
+        let stats_before = cluster.stats();
+
+        // The link dies 30 bytes in: mid-BatchHello or shortly after.
+        let mut link = FaultyLink::new(FaultPlan::disconnect_at(30));
+        let err = cluster
+            .contact_faulty(SiteId::new(1), SiteId::new(0), &mut link)
+            .unwrap_err();
+        assert!(matches!(err, Error::ConnectionLost { .. }), "got {err:?}");
+
+        // Transactionality: nothing moved, nothing was counted.
+        assert_eq!(cluster.site_digest(SiteId::new(1)), before);
+        assert_eq!(cluster.stats().counters, stats_before.counters);
+        assert_eq!(cluster.site(SiteId::new(1)).stats().syncs_received, 0);
+
+        // A clean follow-up contact converges as if the abort never
+        // happened.
+        let mut link = FaultyLink::clean();
+        cluster
+            .contact_faulty(SiteId::new(1), SiteId::new(0), &mut link)
+            .unwrap();
+        cluster.contact(SiteId::new(0), SiteId::new(1)).unwrap();
+        cluster.contact(SiteId::new(1), SiteId::new(0)).unwrap();
+        assert!(cluster.is_consistent_all());
+    }
+
+    #[test]
+    fn faulty_gossip_converges_under_frame_loss() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(8, UnionReconciler);
+        for i in 0..4u64 {
+            let owner = SiteId::new((i % 3) as u32);
+            cluster
+                .site_mut(owner)
+                .create_object(ObjectId::new(i), TokenSet::singleton(format!("seed{i}")));
+        }
+        // 10% frame drop, deterministic seed.
+        let plan = FaultPlan::dropping(99, 100);
+        let (rounds, reports) = cluster
+            .converge_faulty(&mut rng, plan, RetryPolicy::default(), 200)
+            .unwrap();
+        assert!(rounds.is_some(), "faulty cluster failed to converge");
+        assert!(cluster.is_consistent_all());
+        let aborted: u64 = reports.iter().map(|r| r.aborted).sum();
+        let contacts: u64 = reports.iter().map(|r| r.contacts).sum();
+        assert!(contacts > 0);
+        assert!(
+            aborted > 0,
+            "10% drop over {} contacts should abort at least one",
+            contacts
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_source() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(2, UnionReconciler);
+        cluster
+            .site_mut(SiteId::new(0))
+            .create_object(obj(), TokenSet::singleton("init"));
+        let policy = RetryPolicy::default();
+        // Contacts serving from site 0 always die; the reverse direction
+        // is clean.
+        let run = |env: ContactEnv, c: &mut BatchPullClient, s: &mut BatchPullServer| {
+            let mut link = if env.src == SiteId::new(0) {
+                FaultyLink::new(FaultPlan::disconnect_at(5))
+            } else {
+                FaultyLink::clean()
+            };
+            run_contact_faulty(c, s, &mut link)
+        };
+        let report = cluster
+            .gossip_round_resilient(&mut rng, policy, run)
+            .unwrap();
+        assert_eq!(report.contacts, 1, "site 0 still pulls from site 1");
+        assert_eq!(report.aborted, u64::from(policy.max_attempts));
+        assert_eq!(report.retries, u64::from(policy.max_attempts) - 1);
+        assert!(cluster.quarantined(SiteId::new(0)));
+        assert!(!cluster.quarantined(SiteId::new(1)));
+
+        // While quarantined, site 1 has no usable source: skipped, and no
+        // further aborts pile up.
+        let report = cluster
+            .gossip_round_resilient(&mut rng, policy, run)
+            .unwrap();
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.aborted, 0);
+
+        // backoff_base = 1: the quarantine lapses after one round and the
+        // peer is retried (and fails again, doubling the quarantine).
+        let report = cluster
+            .gossip_round_resilient(&mut rng, policy, run)
+            .unwrap();
+        assert_eq!(report.aborted, u64::from(policy.max_attempts));
+        assert!(cluster.quarantined(SiteId::new(0)));
     }
 
     #[test]

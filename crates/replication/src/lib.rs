@@ -31,14 +31,17 @@ pub mod reconcile;
 pub mod session;
 pub mod site;
 
-pub use gossip::{Cluster, ClusterSnapshot, ClusterStats};
+pub use gossip::{Cluster, ClusterSnapshot, ClusterStats, ContactEnv, RetryPolicy, RoundReport};
 pub use meta::ReplicaMeta;
 pub use mux::{
-    classify, run_contact, BatchPullClient, BatchPullServer, ContactReport, CtrlMsg, FrameBytes,
-    MuxMsg, StreamResult,
+    classify, reason_label, run_contact, run_contact_faulty, BatchPullClient, BatchPullServer,
+    ContactReport, CtrlMsg, FrameBytes, MuxMsg, StreamResult,
 };
 pub use object::ObjectId;
 pub use oplog::OpReplica;
+// Re-exported so callers of `run_contact_faulty` / `gossip_round_faulty`
+// can name the fault types without depending on `optrep-net` directly.
+pub use optrep_net::{mix_seed, FaultPlan, FaultStats, FaultyLink, TransmitOutcome};
 pub use payload::{ReplicaPayload, TokenSet, WirePayload};
 pub use protocol::{apply_pull, PullClient, PullOutcome, PullServer, SessionMsg};
 pub use reconcile::{PickReceiver, PickSender, Reconciler, UnionReconciler};

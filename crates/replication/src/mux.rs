@@ -33,7 +33,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use optrep_core::error::{Error, Result, WireError};
 use optrep_core::obs::{self, SessionTotals};
 use optrep_core::sync::{Endpoint, Framed, ProtocolMsg, WireMsg};
+use optrep_core::wire::FrameDecoder;
 use optrep_core::{obs_emit, wire, SiteId, Srv};
+use optrep_net::{FaultyLink, TransmitOutcome};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Stream identifier reserved for connection-level control frames.
@@ -107,11 +109,20 @@ pub enum CtrlMsg {
         /// Streams whose sessions ended clean.
         streams: Vec<u64>,
     },
+    /// Either direction: the listed streams aborted mid-session. The
+    /// receiver tears its halves down and tolerates late frames for
+    /// them; sibling streams and the contact itself continue. The
+    /// objects are simply re-pulled on the next contact.
+    Cancel {
+        /// Streams whose sessions aborted.
+        streams: Vec<u64>,
+    },
 }
 
 const TAG_BATCH_HELLO: u8 = 0x31;
 const TAG_BATCH_SERVER_FIRST: u8 = 0x32;
 const TAG_BATCH_DONE: u8 = 0x33;
+const TAG_CANCEL: u8 = 0x34;
 
 /// Any message of the multiplexed connection: control traffic on stream
 /// [`CONTROL_STREAM`], per-object session traffic on every other stream.
@@ -162,6 +173,13 @@ impl WireMsg for MuxMsg {
             }
             MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
                 buf.put_u8(TAG_BATCH_DONE);
+                wire::put_varint(buf, streams.len() as u64);
+                for s in streams {
+                    wire::put_varint(buf, *s);
+                }
+            }
+            MuxMsg::Ctrl(CtrlMsg::Cancel { streams }) => {
+                buf.put_u8(TAG_CANCEL);
                 wire::put_varint(buf, streams.len() as u64);
                 for s in streams {
                     wire::put_varint(buf, *s);
@@ -243,6 +261,15 @@ impl WireMsg for MuxMsg {
                 }
                 Ok(MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }))
             }
+            TAG_CANCEL => {
+                buf.advance(1);
+                let count = wire::get_varint(buf)? as usize;
+                let mut streams = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    streams.push(wire::get_varint(buf)?);
+                }
+                Ok(MuxMsg::Ctrl(CtrlMsg::Cancel { streams }))
+            }
             _ => Ok(MuxMsg::Session(SessionMsg::decode(buf)?)),
         }
     }
@@ -277,7 +304,8 @@ impl WireMsg for MuxMsg {
                         })
                         .sum::<usize>()
             }
-            MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
+            MuxMsg::Ctrl(CtrlMsg::BatchDone { streams })
+            | MuxMsg::Ctrl(CtrlMsg::Cancel { streams }) => {
                 1 + wire::varint_len(streams.len() as u64)
                     + streams.iter().map(|s| wire::varint_len(*s)).sum::<usize>()
             }
@@ -292,8 +320,10 @@ impl ProtocolMsg for MuxMsg {
     }
 
     fn is_nak(&self) -> bool {
-        matches!(self, MuxMsg::Ctrl(CtrlMsg::BatchDone { .. }))
-            || matches!(self, MuxMsg::Session(inner) if inner.is_nak())
+        matches!(
+            self,
+            MuxMsg::Ctrl(CtrlMsg::BatchDone { .. }) | MuxMsg::Ctrl(CtrlMsg::Cancel { .. })
+        ) || matches!(self, MuxMsg::Session(inner) if inner.is_nak())
     }
 }
 
@@ -307,8 +337,11 @@ pub struct StreamResult {
     /// `true` if the server offered this object (the client had no
     /// replica; the pull transferred it from scratch).
     pub discovered: bool,
+    /// `true` if this stream's session aborted mid-contact (the object
+    /// was cancelled and is re-pulled on the next contact).
+    pub aborted: bool,
     /// The per-object session outcome; `None` if the server does not
-    /// hold the object.
+    /// hold the object or the stream aborted.
     pub outcome: Option<PullOutcome>,
 }
 
@@ -317,6 +350,7 @@ struct ClientStream {
     name: Bytes,
     discovered: bool,
     missing: bool,
+    aborted: bool,
     client: PullClient,
 }
 
@@ -341,6 +375,7 @@ pub struct BatchPullClient {
     order: Vec<u64>,
     cursor: usize,
     pending_dones: Vec<u64>,
+    pending_cancels: Vec<u64>,
     outbox: VecDeque<Framed<MuxMsg>>,
 }
 
@@ -361,6 +396,7 @@ impl BatchPullClient {
                     name,
                     discovered: false,
                     missing: false,
+                    aborted: false,
                     client: PullClient::new(vector),
                 },
             );
@@ -373,6 +409,7 @@ impl BatchPullClient {
             order,
             cursor: 0,
             pending_dones: Vec::new(),
+            pending_cancels: Vec::new(),
             outbox: VecDeque::new(),
         }
     }
@@ -402,7 +439,7 @@ impl BatchPullClient {
             for idx in 0..self.order.len() {
                 let stream = self.order[(self.cursor + idx) % self.order.len()];
                 let st = self.streams.get_mut(&stream).expect("stream exists");
-                if st.missing {
+                if st.missing || st.aborted {
                     continue;
                 }
                 if let Some(msg) = st.client.poll_send() {
@@ -441,6 +478,7 @@ impl BatchPullClient {
         assert!(
             self.phase == ClientPhase::Running
                 && self.pending_dones.is_empty()
+                && self.pending_cancels.is_empty()
                 && self.outbox.is_empty(),
             "contact still in progress"
         );
@@ -450,13 +488,32 @@ impl BatchPullClient {
                 stream,
                 name: st.name,
                 discovered: st.discovered,
-                outcome: if st.missing {
+                aborted: st.aborted,
+                outcome: if st.missing || st.aborted {
                     None
                 } else {
                     Some(st.client.finish())
                 },
             })
             .collect()
+    }
+
+    /// Marks one stream aborted and queues a [`CtrlMsg::Cancel`] so the
+    /// server tears its half down; sibling streams continue untouched.
+    fn abort_stream(&mut self, stream: u64, reason: &'static str, notify_peer: bool) {
+        let st = self.streams.get_mut(&stream).expect("stream exists");
+        if st.aborted {
+            return;
+        }
+        st.aborted = true;
+        if notify_peer {
+            self.pending_cancels.push(stream);
+        }
+        obs_emit!(obs::SyncEvent::SessionAborted {
+            contact: obs::current_contact(),
+            stream,
+            reason,
+        });
     }
 }
 
@@ -488,6 +545,13 @@ impl Endpoint for BatchPullClient {
             ));
         }
         self.gather();
+        if !self.pending_cancels.is_empty() {
+            let streams = std::mem::take(&mut self.pending_cancels);
+            return Some(Framed::new(
+                CONTROL_STREAM,
+                MuxMsg::Ctrl(CtrlMsg::Cancel { streams }),
+            ));
+        }
         if !self.pending_dones.is_empty() {
             let streams = std::mem::take(&mut self.pending_dones);
             return Some(Framed::new(
@@ -547,6 +611,7 @@ impl Endpoint for BatchPullClient {
                             name: offer.name,
                             discovered: true,
                             missing: false,
+                            aborted: false,
                             client,
                         },
                     );
@@ -560,7 +625,32 @@ impl Endpoint for BatchPullClient {
                     .streams
                     .get_mut(&framed.stream)
                     .ok_or_else(|| Self::unknown_stream(framed.stream))?;
-                st.client.on_receive(msg)
+                if st.aborted {
+                    // A frame already in flight when the stream aborted;
+                    // drop it rather than poisoning the contact.
+                    return Ok(());
+                }
+                match st.client.on_receive(msg) {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        // A per-stream protocol error kills that session
+                        // only: cancel it, keep its siblings, re-pull the
+                        // object on the next contact.
+                        self.abort_stream(framed.stream, reason_label(&e), true);
+                        Ok(())
+                    }
+                }
+            }
+            MuxMsg::Ctrl(CtrlMsg::Cancel { streams }) => {
+                // The server tore these streams down (its half errored);
+                // mirror the abort locally without echoing a Cancel back.
+                for stream in streams {
+                    if !self.streams.contains_key(&stream) {
+                        return Err(Self::unknown_stream(stream));
+                    }
+                    self.abort_stream(stream, "peer_cancelled", false);
+                }
+                Ok(())
             }
             MuxMsg::Ctrl(other) => Err(Error::UnexpectedMessage {
                 protocol: "mux",
@@ -572,11 +662,12 @@ impl Endpoint for BatchPullClient {
     fn is_done(&self) -> bool {
         self.phase == ClientPhase::Running
             && self.pending_dones.is_empty()
+            && self.pending_cancels.is_empty()
             && self.outbox.is_empty()
             && self
                 .streams
                 .values()
-                .all(|st| st.missing || st.client.is_done())
+                .all(|st| st.missing || st.aborted || st.client.is_done())
     }
 }
 
@@ -589,6 +680,7 @@ pub struct BatchPullServer {
     order: Vec<u64>,
     cursor: usize,
     seen_hello: bool,
+    cancelled: std::collections::BTreeSet<u64>,
     outbox: VecDeque<Framed<MuxMsg>>,
 }
 
@@ -608,8 +700,28 @@ impl BatchPullServer {
             order: Vec::new(),
             cursor: 0,
             seen_hello: false,
+            cancelled: std::collections::BTreeSet::new(),
             outbox: VecDeque::new(),
         }
+    }
+
+    /// Tears one stream down after a cancel or a local error: the
+    /// per-stream server is dropped, late frames for the stream are
+    /// tolerated, siblings and the round-robin cursor stay sound.
+    fn drop_stream(&mut self, stream: u64) {
+        self.streams.remove(&stream);
+        if let Some(pos) = self.order.iter().position(|&s| s == stream) {
+            self.order.remove(pos);
+            if self.cursor > pos {
+                self.cursor -= 1;
+            }
+            if self.order.is_empty() {
+                self.cursor = 0;
+            } else {
+                self.cursor %= self.order.len();
+            }
+        }
+        self.cancelled.insert(stream);
     }
 
     /// Opens a per-stream server, feeds it the (possibly implicit) Hello
@@ -668,7 +780,37 @@ impl Endpoint for BatchPullServer {
                     });
                 }
                 self.seen_hello = true;
-                let mut next_stream = opens.iter().map(|o| o.stream).max().unwrap_or(0) + 1;
+                // The client chooses stream ids, so they are untrusted
+                // input: the control stream is reserved, duplicates would
+                // make two sessions share one state machine, and an id at
+                // u64::MAX would wrap offer allocation back onto client
+                // streams. (A client retrying after an aborted contact
+                // builds a fresh connection, but a *buggy* or hostile one
+                // may replay ids — reject, don't collide.)
+                let mut highest: u64 = 0;
+                let mut seen = std::collections::BTreeSet::new();
+                for open in &opens {
+                    if open.stream == CONTROL_STREAM {
+                        return Err(Error::UnexpectedMessage {
+                            protocol: "mux",
+                            message: "open names the control stream".into(),
+                        });
+                    }
+                    if !seen.insert(open.stream) {
+                        return Err(Error::UnexpectedMessage {
+                            protocol: "mux",
+                            message: format!("open reuses stream {}", open.stream),
+                        });
+                    }
+                    highest = highest.max(open.stream);
+                }
+                let mut next_stream =
+                    highest
+                        .checked_add(1)
+                        .ok_or_else(|| Error::UnexpectedMessage {
+                            protocol: "mux",
+                            message: "stream id space exhausted".into(),
+                        })?;
                 let mut answers = Vec::with_capacity(opens.len());
                 for open in opens {
                     match self.objects.remove(&open.name) {
@@ -696,7 +838,13 @@ impl Endpoint for BatchPullServer {
                 if discover {
                     for (name, (vector, payload)) in std::mem::take(&mut self.objects) {
                         let stream = next_stream;
-                        next_stream += 1;
+                        next_stream =
+                            next_stream
+                                .checked_add(1)
+                                .ok_or_else(|| Error::UnexpectedMessage {
+                                    protocol: "mux",
+                                    message: "stream id space exhausted".into(),
+                                })?;
                         let (first, _known, client_equal) =
                             self.open_stream(stream, vector, payload, None)?;
                         offers.push(StreamOffer {
@@ -715,20 +863,51 @@ impl Endpoint for BatchPullServer {
             }
             MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
                 for stream in streams {
-                    let server = self
-                        .streams
-                        .get_mut(&stream)
-                        .ok_or_else(|| BatchPullClient::unknown_stream(stream))?;
+                    let Some(server) = self.streams.get_mut(&stream) else {
+                        if self.cancelled.contains(&stream) {
+                            // A Done already in flight when the stream was
+                            // cancelled.
+                            continue;
+                        }
+                        return Err(BatchPullClient::unknown_stream(stream));
+                    };
                     server.on_receive(SessionMsg::Done)?;
                 }
                 Ok(())
             }
+            MuxMsg::Ctrl(CtrlMsg::Cancel { streams }) => {
+                for stream in streams {
+                    if !self.streams.contains_key(&stream) && !self.cancelled.contains(&stream) {
+                        return Err(BatchPullClient::unknown_stream(stream));
+                    }
+                    self.drop_stream(stream);
+                }
+                Ok(())
+            }
             MuxMsg::Session(msg) => {
-                let server = self
-                    .streams
-                    .get_mut(&framed.stream)
-                    .ok_or_else(|| BatchPullClient::unknown_stream(framed.stream))?;
-                server.on_receive(msg)
+                let Some(server) = self.streams.get_mut(&framed.stream) else {
+                    if self.cancelled.contains(&framed.stream) {
+                        // Late frame for a cancelled stream; drop it.
+                        return Ok(());
+                    }
+                    return Err(BatchPullClient::unknown_stream(framed.stream));
+                };
+                match server.on_receive(msg) {
+                    Ok(()) => Ok(()),
+                    Err(_) => {
+                        // A per-stream error tears down this session only;
+                        // the client mirrors the abort on our Cancel and
+                        // re-pulls the object next contact.
+                        self.drop_stream(framed.stream);
+                        self.outbox.push_back(Framed::new(
+                            CONTROL_STREAM,
+                            MuxMsg::Ctrl(CtrlMsg::Cancel {
+                                streams: vec![framed.stream],
+                            }),
+                        ));
+                        Ok(())
+                    }
+                }
             }
             MuxMsg::Ctrl(other) => Err(Error::UnexpectedMessage {
                 protocol: "mux",
@@ -813,7 +992,8 @@ pub fn classify(framed: &Framed<MuxMsg>) -> FrameBytes {
                     .map(|o| opt_elem_len(&o.first) as u64 + 1)
                     .sum::<u64>();
         }
-        MuxMsg::Ctrl(CtrlMsg::BatchDone { streams }) => {
+        MuxMsg::Ctrl(CtrlMsg::BatchDone { streams })
+        | MuxMsg::Ctrl(CtrlMsg::Cancel { streams }) => {
             bytes.compare = streams.len() as u64;
         }
         MuxMsg::Session(SessionMsg::Payload { data }) => {
@@ -905,6 +1085,171 @@ pub fn run_contact(
     }
 }
 
+/// Maps an error to the stable snake_case abort-reason vocabulary of
+/// [`obs::SyncEvent::SessionAborted`].
+pub fn reason_label(e: &Error) -> &'static str {
+    match e {
+        Error::ConnectionLost { .. } => "connection_lost",
+        Error::PeerFailed { .. } => "peer_failed",
+        Error::Incomplete { .. } => "stalled",
+        Error::Wire(_) => "decode_error",
+        _ => "protocol_error",
+    }
+}
+
+/// Drives one batched contact over a fault-injected link, in the same
+/// lockstep regime as [`run_contact`]: every encoded frame is offered to
+/// the [`FaultyLink`], which may deliver it, drop it, truncate it
+/// mid-write, or kill the connection. Delivered bytes pass through a
+/// real [`FrameDecoder`] per direction, exactly as a socket-facing
+/// deployment would reassemble them.
+///
+/// On any link death, decode failure, or stall the contact aborts: a
+/// [`obs::SyncEvent::SessionAborted`] is emitted for the whole contact
+/// (stream 0) and the error is returned. The endpoints' *staged* state
+/// is abandoned by the caller — transactional application is the
+/// caller's discipline (see `gossip` and `KvStore::sync_from`) — so an
+/// aborted contact leaves replica metadata untouched.
+///
+/// # Errors
+///
+/// [`Error::ConnectionLost`] on a hard cut or a detected sequence gap
+/// (bytes delivered after a dropped frame — the receiver refuses to
+/// reassemble past a hole), [`Error::Incomplete`] on a stall (silent
+/// death or a dropped frame starving both endpoints), or the first
+/// decode/protocol error.
+pub fn run_contact_faulty(
+    client: &mut BatchPullClient,
+    server: &mut BatchPullServer,
+    link: &mut FaultyLink,
+) -> Result<ContactReport> {
+    let scope = obs::contact_scope(client.streams.len() as u64);
+    match drive_faulty(client, server, link, scope.id()) {
+        Ok(report) => {
+            scope.close(report.round_trips, report.totals());
+            Ok(report)
+        }
+        Err(e) => {
+            scope.abort(reason_label(&e));
+            Err(e)
+        }
+    }
+}
+
+/// The loop body of [`run_contact_faulty`], without the contact scope
+/// (the caller closes or aborts it based on the result).
+fn drive_faulty(
+    client: &mut BatchPullClient,
+    server: &mut BatchPullServer,
+    link: &mut FaultyLink,
+    contact: u64,
+) -> Result<ContactReport> {
+    /// One direction of the link: a reassembly decoder plus the
+    /// receiver's loss detector. The mux rides a *reliable ordered*
+    /// transport (§2.1); a dropped frame is a sequence gap, and a real
+    /// stack tears the connection down the moment bytes arrive past the
+    /// hole. Modelling that here is what keeps loss from silently
+    /// corrupting per-stream outcomes: SYNCS ships fire-and-forget
+    /// element frames, so a swallowed frame would otherwise let both
+    /// endpoints "complete" while disagreeing on what was said.
+    struct Direction {
+        decoder: FrameDecoder,
+        gap: bool,
+    }
+
+    /// Offers one frame to the link and decodes whatever arrives.
+    fn transmit(
+        link: &mut FaultyLink,
+        dir: &mut Direction,
+        framed: &Framed<MuxMsg>,
+    ) -> Result<Vec<Framed<MuxMsg>>> {
+        match link.transmit(&framed.to_bytes()) {
+            TransmitOutcome::Delivered(bytes) => {
+                if dir.gap {
+                    // Bytes past a hole: the receiver detects the gap
+                    // and kills the connection rather than reassemble a
+                    // stream with a frame missing.
+                    return Err(Error::ConnectionLost {
+                        after_bytes: link.stats().bytes_delivered,
+                    });
+                }
+                dir.decoder.push(&bytes);
+                let mut out = Vec::new();
+                while let Some(frame) = dir.decoder.next_frame()? {
+                    let mut payload = frame.payload;
+                    let msg = MuxMsg::decode(&mut payload)?;
+                    if !payload.is_empty() {
+                        // A frame is exactly one message.
+                        return Err(Error::from(WireError::UnexpectedEof));
+                    }
+                    out.push(Framed::new(frame.stream, msg));
+                }
+                Ok(out)
+            }
+            TransmitOutcome::Dropped => {
+                dir.gap = true;
+                Ok(Vec::new())
+            }
+            TransmitOutcome::Died { stalled: true, .. } => Err(Error::Incomplete {
+                protocol: "mux contact",
+            }),
+            TransmitOutcome::Died { prefix, .. } => {
+                // The truncated prefix reaches the peer's decoder but can
+                // never complete (links die for good); report the cut.
+                dir.decoder.push(&prefix);
+                Err(Error::ConnectionLost {
+                    after_bytes: link.stats().bytes_delivered,
+                })
+            }
+        }
+    }
+
+    let mut report = ContactReport::default();
+    let mut payload_requested = false;
+    let mut to_server = Direction {
+        decoder: FrameDecoder::new(),
+        gap: false,
+    };
+    let mut to_client = Direction {
+        decoder: FrameDecoder::new(),
+        gap: false,
+    };
+    loop {
+        let mut progress = false;
+        while let Some(framed) = client.poll_send() {
+            report.account(&framed);
+            emit_frame_tx(contact, &framed, true);
+            match framed.msg {
+                MuxMsg::Ctrl(CtrlMsg::BatchHello { .. }) => report.round_trips += 1,
+                MuxMsg::Session(SessionMsg::PayloadRequest) => payload_requested = true,
+                _ => {}
+            }
+            progress = true;
+            for delivered in transmit(link, &mut to_server, &framed)? {
+                server.on_receive(delivered)?;
+            }
+        }
+        if let Some(framed) = server.poll_send() {
+            report.account(&framed);
+            emit_frame_tx(contact, &framed, false);
+            progress = true;
+            for delivered in transmit(link, &mut to_client, &framed)? {
+                client.on_receive(delivered)?;
+            }
+        }
+        if client.is_done() && server.is_done() {
+            report.round_trips += u64::from(payload_requested);
+            return Ok(report);
+        }
+        if !progress {
+            // Both endpoints starved: a dropped frame broke the exchange.
+            return Err(Error::Incomplete {
+                protocol: "mux contact",
+            });
+        }
+    }
+}
+
 /// Emits one [`obs::SyncEvent::FrameTx`] with the frame's classified bytes.
 fn emit_frame_tx(contact: u64, framed: &Framed<MuxMsg>, client: bool) {
     // Classification walks the frame; skip it entirely when no sink listens.
@@ -928,6 +1273,7 @@ fn emit_frame_tx(contact: u64, framed: &Framed<MuxMsg>, client: bool) {
 mod tests {
     use super::*;
     use optrep_core::RotatingVector;
+    use optrep_net::FaultPlan;
 
     fn s(i: u32) -> SiteId {
         SiteId::new(i)
@@ -990,6 +1336,10 @@ mod tests {
             MuxMsg::Ctrl(CtrlMsg::BatchDone {
                 streams: vec![1, 300],
             }),
+            MuxMsg::Ctrl(CtrlMsg::Cancel {
+                streams: vec![2, 70_000],
+            }),
+            MuxMsg::Ctrl(CtrlMsg::Cancel { streams: vec![] }),
             MuxMsg::Session(SessionMsg::Done),
         ];
         for m in msgs {
@@ -1178,5 +1528,257 @@ mod tests {
         assert!(report.compare_bytes > 0);
         assert!(report.payload_bytes >= 6, "dirty object ships its state");
         assert!(report.frames >= 4);
+    }
+
+    /// A client/server pair where every object has diverged (the server
+    /// holds one newer update), so all streams live past the comparison
+    /// phase and ship a payload.
+    fn dirty_pair(n: usize) -> (BatchPullClient, BatchPullServer) {
+        let client_vecs: Vec<Srv> = (0..n).map(|i| vec_with(&[i as u32])).collect();
+        let server_vecs: Vec<Srv> = client_vecs
+            .iter()
+            .map(|v| {
+                let mut v = v.clone();
+                RotatingVector::record_update(&mut v, s(30));
+                v
+            })
+            .collect();
+        let client = BatchPullClient::new(
+            client_vecs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (name(i), v.clone())),
+        );
+        let server = BatchPullServer::new(
+            server_vecs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (name(i), v.clone(), Bytes::from_static(b"fresh"))),
+        );
+        (client, server)
+    }
+
+    #[test]
+    fn hostile_stream_ids_are_rejected() {
+        let hello = |opens: Vec<StreamOpen>| {
+            Framed::new(
+                CONTROL_STREAM,
+                MuxMsg::Ctrl(CtrlMsg::BatchHello {
+                    discover: true,
+                    opens,
+                }),
+            )
+        };
+        let open = |stream| StreamOpen {
+            stream,
+            name: name(stream as usize),
+            first: None,
+        };
+
+        // The control stream is reserved.
+        let mut server = BatchPullServer::new(vec![]);
+        let err = server
+            .on_receive(hello(vec![open(CONTROL_STREAM)]))
+            .unwrap_err();
+        assert!(err.to_string().contains("control stream"), "{err}");
+
+        // Duplicate ids would alias two sessions onto one state machine.
+        let mut server = BatchPullServer::new(vec![]);
+        let err = server
+            .on_receive(hello(vec![open(7), open(7)]))
+            .unwrap_err();
+        assert!(err.to_string().contains("reuses stream 7"), "{err}");
+
+        // An id at u64::MAX would wrap offer allocation back onto client
+        // streams.
+        let mut server = BatchPullServer::new(vec![(name(0), vec_with(&[1]), Bytes::new())]);
+        let err = server.on_receive(hello(vec![open(u64::MAX)])).unwrap_err();
+        assert!(err.to_string().contains("exhausted"), "{err}");
+
+        // A Cancel for a stream that never existed is a protocol error,
+        // not a silent no-op.
+        let mut server = BatchPullServer::new(vec![]);
+        server.on_receive(hello(vec![])).unwrap();
+        let err = server
+            .on_receive(Framed::new(
+                CONTROL_STREAM,
+                MuxMsg::Ctrl(CtrlMsg::Cancel { streams: vec![9] }),
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown stream 9"), "{err}");
+    }
+
+    #[test]
+    fn per_stream_abort_leaves_siblings_unharmed() {
+        let (mut client, mut server) = dirty_pair(3);
+        let mut injected = false;
+        loop {
+            let mut progress = false;
+            while let Some(framed) = client.poll_send() {
+                progress = true;
+                server.on_receive(framed).unwrap();
+                if !injected {
+                    injected = true;
+                    // A second greeting is a protocol violation on stream
+                    // 1: the server must tear down that stream only and
+                    // Cancel it back to the client.
+                    server
+                        .on_receive(Framed::new(
+                            1,
+                            MuxMsg::Session(SessionMsg::Hello { first: None }),
+                        ))
+                        .unwrap();
+                }
+            }
+            if let Some(framed) = server.poll_send() {
+                progress = true;
+                client.on_receive(framed).unwrap();
+            }
+            if client.is_done() && server.is_done() {
+                break;
+            }
+            assert!(progress, "contact stalled");
+        }
+        let results = client.finish();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            if r.stream == 1 {
+                assert!(r.aborted, "poisoned stream must abort");
+                assert!(r.outcome.is_none());
+            } else {
+                assert!(!r.aborted, "sibling stream {} must survive", r.stream);
+                let outcome = r.outcome.as_ref().unwrap();
+                assert_eq!(outcome.relation, optrep_core::Causality::Before);
+                assert_eq!(outcome.payload.as_deref(), Some(&b"fresh"[..]));
+            }
+        }
+    }
+
+    #[test]
+    fn client_side_stream_error_cancels_at_the_server() {
+        let (mut client, mut server) = dirty_pair(2);
+        // Run the comparison exchange, then poison stream 2 at the client
+        // with an out-of-order control answer... not possible per-stream;
+        // instead feed it a session message its state machine rejects.
+        let hello = client.poll_send().unwrap();
+        server.on_receive(hello).unwrap();
+        let first = server.poll_send().unwrap();
+        client.on_receive(first).unwrap();
+        // A bare ServerFirst repeat is invalid once the session is running.
+        client
+            .on_receive(Framed::new(
+                2,
+                MuxMsg::Session(SessionMsg::ServerFirst {
+                    first: None,
+                    client_known: false,
+                    client_equal: false,
+                }),
+            ))
+            .unwrap();
+        // The poisoned stream is aborted locally and a Cancel is queued.
+        loop {
+            let mut progress = false;
+            while let Some(framed) = client.poll_send() {
+                progress = true;
+                server.on_receive(framed).unwrap();
+            }
+            if let Some(framed) = server.poll_send() {
+                progress = true;
+                client.on_receive(framed).unwrap();
+            }
+            if client.is_done() && server.is_done() {
+                break;
+            }
+            assert!(progress, "contact stalled");
+        }
+        let results = client.finish();
+        let poisoned = results.iter().find(|r| r.stream == 2).unwrap();
+        assert!(poisoned.aborted);
+        assert!(poisoned.outcome.is_none());
+        let healthy = results.iter().find(|r| r.stream == 1).unwrap();
+        assert_eq!(
+            healthy.outcome.as_ref().unwrap().payload.as_deref(),
+            Some(&b"fresh"[..])
+        );
+    }
+
+    #[test]
+    fn faulty_contact_with_clean_plan_matches_run_contact() {
+        let (mut c1, mut s1) = dirty_pair(4);
+        let (mut c2, mut s2) = dirty_pair(4);
+        let reference = run_contact(&mut c1, &mut s1).unwrap();
+        let mut link = FaultyLink::clean();
+        let report = run_contact_faulty(&mut c2, &mut s2, &mut link).unwrap();
+        assert_eq!(report, reference, "a clean link must be transparent");
+        let (r1, r2) = (c1.finish(), c2.finish());
+        assert_eq!(r1.len(), r2.len());
+        for (a, b) in r1.iter().zip(&r2) {
+            assert_eq!(
+                a.outcome.as_ref().unwrap().payload,
+                b.outcome.as_ref().unwrap().payload
+            );
+        }
+        assert_eq!(link.stats().frames_delivered, reference.frames);
+        assert_eq!(link.stats().bytes_delivered, reference.total_bytes);
+    }
+
+    #[test]
+    fn disconnected_contact_aborts_with_connection_lost() {
+        let (mut client, mut server) = dirty_pair(4);
+        let mut link = FaultyLink::new(FaultPlan::disconnect_at(40));
+        let err = run_contact_faulty(&mut client, &mut server, &mut link).unwrap_err();
+        assert!(
+            matches!(err, Error::ConnectionLost { after_bytes: 40 }),
+            "got {err:?}"
+        );
+        assert!(link.is_dead());
+    }
+
+    #[test]
+    fn dropped_hello_starves_the_contact_into_incomplete() {
+        let (mut client, mut server) = dirty_pair(2);
+        // 100% drop: the BatchHello vanishes and nobody can ever answer.
+        let mut link = FaultyLink::new(FaultPlan::dropping(11, 1000));
+        let err = run_contact_faulty(&mut client, &mut server, &mut link).unwrap_err();
+        assert!(matches!(err, Error::Incomplete { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn stalled_link_aborts_as_incomplete() {
+        let (mut client, mut server) = dirty_pair(2);
+        let plan = FaultPlan {
+            stall_after_frames: Some(1),
+            ..FaultPlan::clean()
+        };
+        let mut link = FaultyLink::new(plan);
+        let err = run_contact_faulty(&mut client, &mut server, &mut link).unwrap_err();
+        assert!(matches!(err, Error::Incomplete { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn reason_labels_are_stable() {
+        assert_eq!(
+            reason_label(&Error::ConnectionLost { after_bytes: 1 }),
+            "connection_lost"
+        );
+        assert_eq!(
+            reason_label(&Error::PeerFailed { protocol: "x" }),
+            "peer_failed"
+        );
+        assert_eq!(
+            reason_label(&Error::Incomplete { protocol: "x" }),
+            "stalled"
+        );
+        assert_eq!(
+            reason_label(&Error::Wire(WireError::UnexpectedEof)),
+            "decode_error"
+        );
+        assert_eq!(
+            reason_label(&Error::UnexpectedMessage {
+                protocol: "mux",
+                message: String::new(),
+            }),
+            "protocol_error"
+        );
     }
 }

@@ -1,0 +1,208 @@
+//! Mid-session EOF and chaos recovery.
+//!
+//! Tier-1 coverage for the fault-injection layer: truncating the wire
+//! byte-stream at *every* prefix length must leave both replicas with
+//! valid, COMPARE-consistent vectors (byte-identical to their
+//! pre-contact state, in fact), and a follow-up clean sync must fully
+//! converge. A seeded 16-site cluster must converge under 10% frame
+//! loss with zero panics, under the invariant-checking sink.
+
+use optrep_core::{SiteId, Srv};
+use optrep_net::{FaultPlan, FaultyLink};
+use optrep_replication::{Cluster, ObjectId, RetryPolicy, TokenSet, UnionReconciler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OBJ: ObjectId = ObjectId::new(0);
+
+/// A two-site cluster mid-history: site 1 is ahead of site 0 on `OBJ`
+/// (fast-forward stream), hosts an object site 0 has never seen
+/// (discovery stream), and — when `diverge` — site 0 has a concurrent
+/// local update (reconcile stream). One contact exercises every
+/// per-stream outcome the transactional apply stages.
+fn dirty_pair(tokens: &[String], diverge: bool) -> Cluster<Srv, TokenSet, UnionReconciler> {
+    let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(2, UnionReconciler);
+    let (a, b) = (SiteId::new(0), SiteId::new(1));
+    cluster
+        .site_mut(b)
+        .create_object(OBJ, TokenSet::singleton("seed"));
+    cluster.contact(a, b).expect("clean bootstrap contact");
+    for t in tokens {
+        cluster.site_mut(b).update(OBJ, |p| {
+            p.insert(t.clone());
+        });
+    }
+    cluster
+        .site_mut(b)
+        .create_object(ObjectId::new(1), TokenSet::singleton("fresh"));
+    if diverge {
+        cluster.site_mut(a).update(OBJ, |p| {
+            p.insert("local".to_string());
+        });
+    }
+    cluster
+}
+
+/// Converges the pair over clean contacts after a fault, pulling both
+/// ways so a reconciliation's Parker §C increment also propagates back.
+fn settle_pair(cluster: &mut Cluster<Srv, TokenSet, UnionReconciler>) {
+    let (a, b) = (SiteId::new(0), SiteId::new(1));
+    for _ in 0..4 {
+        cluster.contact(a, b).expect("clean follow-up contact");
+        cluster.contact(b, a).expect("clean follow-up contact");
+        if cluster.is_consistent_all() {
+            return;
+        }
+    }
+    panic!("clean follow-up contacts failed to converge the pair");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cutting the connection after *every* possible byte prefix aborts
+    /// the contact without mutating either endpoint, and a clean
+    /// follow-up sync still converges — mid-session EOF can corrupt
+    /// nothing, no matter where the scissors land.
+    #[test]
+    fn truncation_at_every_prefix_is_recoverable(
+        raw in proptest::collection::vec(any::<u16>(), 1..4),
+        diverge in any::<bool>(),
+    ) {
+        let tokens: Vec<String> = raw.iter().map(|b| format!("t{b}")).collect();
+        // The loss-free contact measures how many bytes there are to cut.
+        let mut reference = dirty_pair(&tokens, diverge);
+        let mut link = FaultyLink::clean();
+        reference
+            .contact_faulty(SiteId::new(0), SiteId::new(1), &mut link)
+            .expect("clean faulty link is transparent");
+        let total = link.stats().bytes_delivered;
+        prop_assert!(total > 0);
+
+        for cut in 0..total {
+            let mut cluster = dirty_pair(&tokens, diverge);
+            let (a, b) = (SiteId::new(0), SiteId::new(1));
+            let before_dst = cluster.site_digest(a);
+            let before_src = cluster.site_digest(b);
+            let mut link = FaultyLink::new(FaultPlan::disconnect_at(cut));
+            let err = cluster.contact_faulty(a, b, &mut link);
+            prop_assert!(err.is_err(), "cut at {cut}/{total} bytes did not abort");
+            // Both replicas are exactly as they were: valid vectors,
+            // COMPARE-consistent with their own pre-contact state.
+            prop_assert_eq!(&cluster.site_digest(a), &before_dst, "dst mutated at cut {}", cut);
+            prop_assert_eq!(&cluster.site_digest(b), &before_src, "src mutated at cut {}", cut);
+            settle_pair(&mut cluster);
+            prop_assert!(cluster.is_consistent_all());
+        }
+    }
+}
+
+/// Builds the 16-site chaos cluster of the acceptance criteria: six
+/// objects spread over the first four sites plus one conflicting burst.
+fn chaos_cluster() -> Cluster<Srv, TokenSet, UnionReconciler> {
+    let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(16, UnionReconciler);
+    for i in 0..6u64 {
+        cluster
+            .site_mut(SiteId::new((i % 4) as u32))
+            .create_object(ObjectId::new(i), TokenSet::singleton(format!("seed{i}")));
+    }
+    for i in 0..2u32 {
+        let site = SiteId::new(i);
+        if cluster.site(site).replica(OBJ).is_some() {
+            cluster.site_mut(site).update(OBJ, |p| {
+                p.insert(format!("burst{i}"));
+            });
+        }
+    }
+    cluster
+}
+
+/// Full convergence: every site hosts all six objects and all replicas
+/// agree — `is_consistent_all` alone ignores sites an object never
+/// reached, which under heavy loss would declare victory early.
+fn fully_replicated(cluster: &Cluster<Srv, TokenSet, UnionReconciler>) -> bool {
+    (0..16).all(|s| cluster.site(SiteId::new(s)).replica_count() == 6)
+        && cluster.is_consistent_all()
+}
+
+/// The gossip-schedule seed: `OPTREP_CHAOS_SEED` when set (CI runs a
+/// fixed matrix of them), a fixed default otherwise.
+fn chaos_seed() -> u64 {
+    std::env::var("OPTREP_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x16C)
+}
+
+/// The headline acceptance criterion: a seeded 10% frame-drop plan on a
+/// 16-site cluster converges, with zero panics, while the
+/// invariant-checking sink audits every event. (Metadata byte-identity
+/// across each aborted attempt is additionally asserted inside
+/// `gossip_round_resilient` in debug builds, which tests are.)
+#[cfg(feature = "obs")]
+#[test]
+fn sixteen_sites_converge_under_ten_percent_frame_loss() {
+    use optrep_core::obs::{self, CheckSink};
+    use std::sync::Arc;
+
+    let sink = Arc::new(CheckSink::new());
+    let (rounds, reports) = obs::with(sink.clone(), || {
+        let mut rng = StdRng::seed_from_u64(chaos_seed());
+        let mut cluster = chaos_cluster();
+        let plan = FaultPlan::dropping(0xD10, 100); // 10% frame drop
+        let mut reports = Vec::new();
+        let mut rounds = None;
+        for round in 1..=300u64 {
+            reports.push(
+                cluster
+                    .gossip_round_faulty(&mut rng, plan, RetryPolicy::default())
+                    .expect("staging never fails on our own wire format"),
+            );
+            if fully_replicated(&cluster) {
+                rounds = Some(round);
+                break;
+            }
+        }
+        (rounds, reports)
+    });
+    let rounds = rounds.expect("16 sites must converge under 10% loss within 300 rounds");
+    let aborted: u64 = reports.iter().map(|r| r.aborted).sum();
+    assert!(
+        aborted > 0,
+        "10% loss over {rounds} rounds should abort something"
+    );
+    assert!(
+        sink.checked_contacts() > 0,
+        "the sink must have audited completed contacts"
+    );
+    // Every aborted attempt emits a whole-contact SessionAborted; any
+    // per-stream aborts only add to the sink's count.
+    assert!(
+        sink.aborted() >= aborted,
+        "every abort flows through the sink"
+    );
+}
+
+/// Without `obs` the same chaos run must still converge silently.
+#[cfg(not(feature = "obs"))]
+#[test]
+fn sixteen_sites_converge_under_ten_percent_frame_loss() {
+    let mut rng = StdRng::seed_from_u64(chaos_seed());
+    let mut cluster = chaos_cluster();
+    let plan = FaultPlan::dropping(0xD10, 100);
+    let mut converged = false;
+    for _ in 1..=300u64 {
+        cluster
+            .gossip_round_faulty(&mut rng, plan, RetryPolicy::default())
+            .expect("staging never fails on our own wire format");
+        if fully_replicated(&cluster) {
+            converged = true;
+            break;
+        }
+    }
+    assert!(
+        converged,
+        "16 sites must converge under 10% loss within 300 rounds"
+    );
+}
