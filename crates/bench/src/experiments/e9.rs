@@ -14,10 +14,11 @@
 
 use crate::table::{ratio, Table};
 use optrep_core::SiteId;
-use optrep_net::{FaultPlan, FaultStats, FaultyLink};
-use optrep_replication::mux::run_contact_faulty;
+use optrep_net::{FaultPlan, FaultStats};
 use optrep_replication::object::ObjectId;
-use optrep_replication::{Cluster, RetryPolicy, RoundReport, TokenSet, UnionReconciler};
+use optrep_replication::{
+    Cluster, ContactOptions, RetryPolicy, RoundReport, TokenSet, UnionReconciler,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,14 +30,6 @@ const OBJECTS: u64 = 6;
 
 /// Convergence budget in gossip rounds.
 const MAX_ROUNDS: u64 = 300;
-
-/// Full convergence: every site hosts every object and all replicas
-/// agree. (`is_consistent_all` alone ignores sites an object never
-/// reached, which under heavy loss would declare victory early.)
-fn fully_replicated(cluster: &Cluster<optrep_core::Srv, TokenSet, UnionReconciler>) -> bool {
-    (0..SITES).all(|s| cluster.site(SiteId::new(s)).replica_count() as u64 == OBJECTS)
-        && cluster.is_consistent_all()
-}
 
 /// What one chaos run produced.
 struct ChaosRun {
@@ -57,10 +50,13 @@ fn chaos_run(drop_per_mille: u16) -> ChaosRun {
             .site_mut(SiteId::new((i % 4) as u32))
             .create_object(ObjectId::new(i), TokenSet::singleton(format!("seed{i}")));
     }
-    let plan = FaultPlan::dropping(0xBAD5_EED0 ^ u64::from(drop_per_mille), drop_per_mille);
-    let policy = RetryPolicy::default();
-    let mut wire = FaultStats::default();
-    let mut reports = Vec::new();
+    let opts = ContactOptions::mux()
+        .with_fault(FaultPlan::dropping(
+            0xBAD5_EED0 ^ u64::from(drop_per_mille),
+            drop_per_mille,
+        ))
+        .with_retry(RetryPolicy::default());
+    let mut reports: Vec<RoundReport> = Vec::new();
     let mut rounds = 0;
     for round in 1..=MAX_ROUNDS {
         // One burst of divergence, so a conflict reconciles under loss
@@ -78,20 +74,10 @@ fn chaos_run(drop_per_mille: u16) -> ChaosRun {
             }
         }
         let report = cluster
-            .gossip_round_resilient(&mut rng, policy, |env, client, server| {
-                let mut link = FaultyLink::new(plan.reseeded(env.salt));
-                let result = run_contact_faulty(client, server, &mut link);
-                let s = link.stats();
-                wire.frames_offered += s.frames_offered;
-                wire.frames_delivered += s.frames_delivered;
-                wire.frames_dropped += s.frames_dropped;
-                wire.frames_truncated += s.frames_truncated;
-                wire.bytes_delivered += s.bytes_delivered;
-                result
-            })
+            .round_with(&mut rng, &opts)
             .expect("staging errors cannot occur on our own wire format");
         reports.push(report);
-        if round > 1 && fully_replicated(&cluster) {
+        if round > 1 && cluster.fully_replicated() {
             rounds = round;
             break;
         }
@@ -101,6 +87,15 @@ fn chaos_run(drop_per_mille: u16) -> ChaosRun {
         "cluster failed to converge within {MAX_ROUNDS} rounds at {drop_per_mille}‰ drop"
     );
     let stats = cluster.stats();
+    // Per-round fault accounting now rides on the report itself.
+    let wire = reports.iter().fold(FaultStats::default(), |mut acc, r| {
+        acc.frames_offered += r.fault.frames_offered;
+        acc.frames_delivered += r.fault.frames_delivered;
+        acc.frames_dropped += r.fault.frames_dropped;
+        acc.frames_truncated += r.fault.frames_truncated;
+        acc.bytes_delivered += r.fault.bytes_delivered;
+        acc
+    });
     ChaosRun {
         rounds,
         reports,

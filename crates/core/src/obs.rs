@@ -167,7 +167,7 @@ pub enum SyncEvent {
         applied: bool,
     },
     /// A multiplexed frame sent by a contact endpoint, with its bytes
-    /// classified by [`ContactReport::account`]'s taxonomy.
+    /// classified by `ContactReport::account`'s taxonomy.
     FrameTx {
         /// Enclosing contact id (0 outside a contact scope).
         contact: u64,
@@ -689,6 +689,41 @@ mod dispatch {
         f()
     }
 
+    /// A snapshot of the sinks installed on this thread, outermost
+    /// first.
+    ///
+    /// The parallel contact engine captures this on the scheduling
+    /// thread and re-installs it on every worker via [`with_all`], so a
+    /// sink such as `CheckSink` observes each worker's events exactly as
+    /// it would a sequential run. Sinks are `Send + Sync` and are shared
+    /// (not cloned), so one sink instance aggregates events from every
+    /// worker — its own synchronization is the merge point.
+    pub fn installed() -> Vec<Arc<dyn Sink>> {
+        SINKS.with(|s| s.borrow().clone())
+    }
+
+    /// Installs every sink in `sinks` on this thread for the duration of
+    /// `f` — the worker-thread mirror of a stack captured with
+    /// [`installed`]. All sinks are removed when `f` returns or panics.
+    pub fn with_all<R>(sinks: Vec<Arc<dyn Sink>>, f: impl FnOnce() -> R) -> R {
+        struct Guard(usize);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                SINKS.with(|s| {
+                    let mut s = s.borrow_mut();
+                    let keep = s.len().saturating_sub(self.0);
+                    s.truncate(keep);
+                });
+                refresh_flags();
+            }
+        }
+        let n = sinks.len();
+        SINKS.with(|s| s.borrow_mut().extend(sinks));
+        refresh_flags();
+        let _guard = Guard(n);
+        f()
+    }
+
     /// `true` iff at least one sink is installed on this thread.
     #[inline]
     pub fn enabled() -> bool {
@@ -879,6 +914,17 @@ mod dispatch {
         f()
     }
 
+    /// Always empty without the `obs` feature.
+    pub fn installed() -> Vec<Arc<dyn Sink>> {
+        Vec::new()
+    }
+
+    /// Runs `f` directly; no sinks are installed without the `obs`
+    /// feature.
+    pub fn with_all<R>(_sinks: Vec<Arc<dyn Sink>>, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
     /// Always `false` without the `obs` feature.
     #[inline(always)]
     pub const fn enabled() -> bool {
@@ -955,8 +1001,8 @@ mod dispatch {
 }
 
 pub use dispatch::{
-    contact_scope, current_contact, current_session, emit, enabled, session_scope, wants_oracle,
-    with, ContactScope, SessionScope,
+    contact_scope, current_contact, current_session, emit, enabled, installed, session_scope,
+    wants_oracle, with, with_all, ContactScope, SessionScope,
 };
 
 /// Locks `mutex`, recovering the data if a previous holder panicked.

@@ -3,7 +3,7 @@
 //! [`KvStore`] is the downstream-facing face of the `optrep` stack: each
 //! key carries its own [`Srv`] metadata, so conflicts are detected
 //! per key with O(1) comparisons, and anti-entropy between two stores
-//! ([`KvStore::sync_from`]) transfers only the metadata *differences* —
+//! ([`KvStore::sync`]) transfers only the metadata *differences* —
 //! the paper's `SYNCS` — plus the values that actually changed.
 //!
 //! Deletions are tombstones (an update writing no value), so they
@@ -13,31 +13,41 @@
 //! any gossip schedule converges to the same store everywhere.
 //!
 //! ```
-//! use optrep_kv::{KvStore, JoinResolver};
+//! use optrep_kv::KvStore;
 //! use optrep_core::SiteId;
 //!
 //! let mut alice = KvStore::new(SiteId::new(0));
 //! let mut bob = KvStore::new(SiteId::new(1));
 //! alice.put("greeting", "hello");
-//! bob.sync_from(&alice, &JoinResolver)?;
+//! bob.sync(&alice).run()?;
 //! assert_eq!(bob.get("greeting"), Some(&b"hello"[..]));
 //!
 //! // Concurrent writes to the same key conflict and resolve
 //! // deterministically on both sides.
 //! alice.put("greeting", "hi");
 //! bob.put("greeting", "hey");
-//! bob.sync_from(&alice, &JoinResolver)?;
-//! alice.sync_from(&bob, &JoinResolver)?;
+//! bob.sync(&alice).run()?;
+//! alice.sync(&bob).run()?;
 //! assert_eq!(alice.get("greeting"), bob.get("greeting"));
 //! # Ok::<(), optrep_core::Error>(())
 //! ```
+//!
+//! One [`SyncRequest`] builder configures every variant of a pull —
+//! resolver, transfer options, and the transport that drives the
+//! contact (clean in-process by default, a seeded
+//! [`FaultyLink`] via
+//! [`SyncRequest::via`], or an arbitrary closure via
+//! [`SyncRequest::via_fn`]).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use optrep_core::error::WireError;
 use optrep_core::obs::{CounterSink, CounterSnapshot, SessionTotals};
 use optrep_core::sync::SyncOptions;
 use optrep_core::{wire, Causality, Result, RotatingVector, SiteId, Srv};
-use optrep_replication::mux::{run_contact, BatchPullClient, BatchPullServer, ContactReport};
+use optrep_replication::mux::{
+    run_contact, run_contact_faulty, BatchPullClient, BatchPullServer, ContactReport,
+};
+use optrep_replication::FaultyLink;
 use std::collections::BTreeMap;
 
 /// The stored state of one key: `None` is a tombstone (deleted).
@@ -210,47 +220,92 @@ impl KvStore {
         }
     }
 
-    /// Anti-entropy pull: brings every key of `other` into this store over
-    /// **one** multiplexed connection ([`optrep_replication::mux`]). Each
-    /// key's session is a stream: all O(1) comparisons travel in a single
+    /// Starts an anti-entropy pull from `src`, returning a
+    /// [`SyncRequest`] builder. Nothing happens until
+    /// [`run()`](SyncRequest::run):
+    ///
+    /// ```
+    /// # use optrep_kv::{KvStore, OursResolver};
+    /// # use optrep_core::SiteId;
+    /// # let mut dst = KvStore::new(SiteId::new(0));
+    /// # let src = KvStore::new(SiteId::new(1));
+    /// dst.sync(&src).run()?;                             // defaults
+    /// dst.sync(&src).with_resolver(&OursResolver).run()?; // custom resolver
+    /// # Ok::<(), optrep_core::Error>(())
+    /// ```
+    ///
+    /// The pull brings every key of `src` into this store over **one**
+    /// multiplexed connection ([`optrep_replication::mux`]). Each key's
+    /// session is a stream: all O(1) comparisons travel in a single
     /// batched frame (one round trip amortized over every key), clean keys
     /// coalesce their `Done`s, dirty keys run the per-stream `SYNCS` and
     /// ship their value, and keys this store has never seen are discovered
-    /// and created. Concurrent writes are resolved with `resolver`,
-    /// followed by the Parker §C increment so the resolved version
-    /// dominates both parents.
+    /// and created. Concurrent writes are resolved with the configured
+    /// [`Resolver`] ([`JoinResolver`] unless overridden), followed by the
+    /// Parker §C increment so the resolved version dominates both parents.
+    pub fn sync<'a>(&'a mut self, src: &'a KvStore) -> SyncRequest<'a> {
+        SyncRequest {
+            store: self,
+            src,
+            resolver: &JoinResolver,
+            opts: SyncOptions::default(),
+            drive: CleanDrive,
+        }
+    }
+
+    /// Anti-entropy pull with an explicit resolver.
     ///
     /// # Errors
     ///
     /// Propagates protocol errors; on error no key is modified.
+    #[deprecated(note = "use `store.sync(&src).with_resolver(&resolver).run()`")]
     pub fn sync_from<R: Resolver>(
         &mut self,
         other: &KvStore,
         resolver: &R,
     ) -> Result<KvSyncReport> {
-        self.sync_from_opts(other, resolver, SyncOptions::default())
+        self.sync(other).with_resolver(resolver).run()
     }
 
-    /// Like [`sync_from`](Self::sync_from) with explicit transfer options.
-    /// The contact engine always pipelines (§3.1); `_opts` is kept for
-    /// signature stability and future latency-aware transports.
+    /// Anti-entropy pull with explicit transfer options.
     ///
     /// # Errors
     ///
-    /// See [`sync_from`](Self::sync_from).
+    /// Propagates protocol errors; on error no key is modified.
+    #[deprecated(note = "use `store.sync(&src).with_resolver(&resolver).with_opts(opts).run()`")]
     pub fn sync_from_opts<R: Resolver>(
         &mut self,
         other: &KvStore,
         resolver: &R,
-        _opts: SyncOptions,
+        opts: SyncOptions,
     ) -> Result<KvSyncReport> {
-        self.sync_from_via(other, resolver, run_contact)
+        self.sync(other)
+            .with_resolver(resolver)
+            .with_opts(opts)
+            .run()
     }
 
-    /// [`sync_from`](Self::sync_from) with the contact driven by `run` —
-    /// the hook for fault-injected transports
-    /// ([`optrep_replication::mux::run_contact_faulty`] over a seeded
-    /// link) and custom drivers.
+    /// Anti-entropy pull with the contact driven by `run`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `run` and staging; on error no key is
+    /// modified.
+    #[deprecated(note = "use `store.sync(&src).with_resolver(&resolver).via_fn(run).run()`")]
+    pub fn sync_from_via<R, F>(
+        &mut self,
+        other: &KvStore,
+        resolver: &R,
+        run: F,
+    ) -> Result<KvSyncReport>
+    where
+        R: Resolver,
+        F: FnOnce(&mut BatchPullClient, &mut BatchPullServer) -> Result<ContactReport>,
+    {
+        self.sync(other).with_resolver(resolver).via_fn(run).run()
+    }
+
+    /// The shared pull body behind [`SyncRequest::run`].
     ///
     /// Application is transactional in both directions:
     ///
@@ -260,19 +315,13 @@ impl KvStore {
     /// * If `run` completes, every outcome is decoded and validated into
     ///   a staging list *before* the first key is touched, so a corrupt
     ///   payload mid-batch also leaves the store byte-identical.
-    ///
-    /// # Errors
-    ///
-    /// Propagates errors from `run` and staging; on error no key is
-    /// modified.
-    pub fn sync_from_via<R, F>(
+    fn sync_impl<F>(
         &mut self,
         other: &KvStore,
-        resolver: &R,
+        resolver: &dyn Resolver,
         run: F,
     ) -> Result<KvSyncReport>
     where
-        R: Resolver,
         F: FnOnce(&mut BatchPullClient, &mut BatchPullServer) -> Result<ContactReport>,
     {
         enum Staged {
@@ -435,6 +484,155 @@ impl KvStore {
     }
 }
 
+/// Drives the framed contact of one [`SyncRequest`] — the transport
+/// seam. Implementations run the lockstep exchange between the two
+/// batch-pull endpoints and report the byte-accurate costs.
+pub trait Drive {
+    /// Runs the contact to completion (or failure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors; the store stays
+    /// untouched when this fails.
+    fn drive(
+        self,
+        client: &mut BatchPullClient,
+        server: &mut BatchPullServer,
+    ) -> Result<ContactReport>;
+}
+
+/// The default transport: a clean in-process lockstep contact
+/// ([`optrep_replication::mux::run_contact`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CleanDrive;
+
+impl Drive for CleanDrive {
+    fn drive(
+        self,
+        client: &mut BatchPullClient,
+        server: &mut BatchPullServer,
+    ) -> Result<ContactReport> {
+        run_contact(client, server)
+    }
+}
+
+/// A seeded faulty link drives the contact with injected frame loss
+/// and truncation ([`optrep_replication::mux::run_contact_faulty`]).
+impl Drive for &mut FaultyLink {
+    fn drive(
+        self,
+        client: &mut BatchPullClient,
+        server: &mut BatchPullServer,
+    ) -> Result<ContactReport> {
+        run_contact_faulty(client, server, self)
+    }
+}
+
+/// Adapter letting any closure over the two endpoints act as a
+/// [`Drive`] — the hook for tests that cut the link mid-contact or
+/// custom transports. Built by [`SyncRequest::via_fn`].
+pub struct FnDrive<F>(F);
+
+impl<F> std::fmt::Debug for FnDrive<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnDrive").finish_non_exhaustive()
+    }
+}
+
+impl<F> Drive for FnDrive<F>
+where
+    F: FnOnce(&mut BatchPullClient, &mut BatchPullServer) -> Result<ContactReport>,
+{
+    fn drive(
+        self,
+        client: &mut BatchPullClient,
+        server: &mut BatchPullServer,
+    ) -> Result<ContactReport> {
+        (self.0)(client, server)
+    }
+}
+
+/// A configured anti-entropy pull, built by [`KvStore::sync`]. Chain
+/// the `with_*`/`via*` builders, then [`run()`](Self::run) executes the
+/// contact; dropping the request without running it does nothing.
+#[must_use = "a sync request does nothing until `run()`"]
+pub struct SyncRequest<'a, D = CleanDrive> {
+    store: &'a mut KvStore,
+    src: &'a KvStore,
+    resolver: &'a dyn Resolver,
+    opts: SyncOptions,
+    drive: D,
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for SyncRequest<'_, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncRequest")
+            .field("dst", &self.store.site)
+            .field("src", &self.src.site)
+            .field("opts", &self.opts)
+            .field("drive", &self.drive)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, D: Drive> SyncRequest<'a, D> {
+    /// Resolves concurrent writes with `resolver` instead of the default
+    /// [`JoinResolver`].
+    pub fn with_resolver(mut self, resolver: &'a dyn Resolver) -> Self {
+        self.resolver = resolver;
+        self
+    }
+
+    /// Sets explicit transfer options. The contact engine always
+    /// pipelines (§3.1); the options are kept for signature stability
+    /// and future latency-aware transports.
+    pub fn with_opts(mut self, opts: SyncOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Drives the contact over `drive` instead of the clean in-process
+    /// transport — e.g. a seeded
+    /// [`FaultyLink`] for fault
+    /// injection.
+    pub fn via<D2: Drive>(self, drive: D2) -> SyncRequest<'a, D2> {
+        SyncRequest {
+            store: self.store,
+            src: self.src,
+            resolver: self.resolver,
+            opts: self.opts,
+            drive,
+        }
+    }
+
+    /// Drives the contact with an arbitrary closure over the two
+    /// batch-pull endpoints — the hook for tests that kill the link
+    /// mid-contact and for custom transports.
+    pub fn via_fn<F>(self, run: F) -> SyncRequest<'a, FnDrive<F>>
+    where
+        F: FnOnce(&mut BatchPullClient, &mut BatchPullServer) -> Result<ContactReport>,
+    {
+        self.via(FnDrive(run))
+    }
+
+    /// Executes the pull.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, protocol and staging errors; on error no
+    /// key, no metadata and no counter of the destination store moved.
+    pub fn run(self) -> Result<KvSyncReport> {
+        let SyncRequest {
+            store,
+            src,
+            resolver,
+            opts: _,
+            drive,
+        } = self;
+        store.sync_impl(src, resolver, |client, server| drive.drive(client, server))
+    }
+}
+
 /// Wire form of a [`Value`]: `[0]` is a tombstone, `[1, bytes…]` a value —
 /// the same one-byte tag the snapshot format uses.
 fn encode_value(value: &Value) -> Bytes {
@@ -489,11 +687,11 @@ mod tests {
         let mut b = KvStore::new(s(1));
         a.put("x", "1");
         a.put("y", "2");
-        let report = b.sync_from(&a, &JoinResolver).unwrap();
+        let report = b.sync(&a).run().unwrap();
         assert_eq!(report.keys_created, 2);
         assert_eq!(b.get("x"), Some(&b"1"[..]));
         a.put("x", "10");
-        let report = b.sync_from(&a, &JoinResolver).unwrap();
+        let report = b.sync(&a).run().unwrap();
         assert_eq!(report.keys_fast_forwarded, 1);
         assert_eq!(report.keys_unchanged, 1);
         assert_eq!(b.get("x"), Some(&b"10"[..]));
@@ -505,9 +703,9 @@ mod tests {
         let mut a = KvStore::new(s(0));
         let mut b = KvStore::new(s(1));
         a.put("x", "1");
-        b.sync_from(&a, &JoinResolver).unwrap();
+        b.sync(&a).run().unwrap();
         a.delete("x");
-        b.sync_from(&a, &JoinResolver).unwrap();
+        b.sync(&a).run().unwrap();
         assert_eq!(b.get("x"), None);
         assert_eq!(b.tracked_entries(), 1);
     }
@@ -517,7 +715,7 @@ mod tests {
         let mut a = KvStore::new(s(0));
         let mut b = KvStore::new(s(1));
         a.put("k", "base");
-        b.sync_from(&a, &JoinResolver).unwrap();
+        b.sync(&a).run().unwrap();
         a.put("k", "from-a");
         b.put("k", "from-b");
         assert_eq!(
@@ -525,10 +723,10 @@ mod tests {
             Some(Causality::Concurrent),
             "conflict detected"
         );
-        let report = b.sync_from(&a, &JoinResolver).unwrap();
+        let report = b.sync(&a).run().unwrap();
         assert_eq!(report.keys_reconciled, 1);
         // b's resolution dominates; a fast-forwards to it.
-        let report = a.sync_from(&b, &JoinResolver).unwrap();
+        let report = a.sync(&b).run().unwrap();
         assert_eq!(report.keys_fast_forwarded, 1);
         assert_eq!(a.get("k"), b.get("k"));
         assert_eq!(a.get("k"), Some(&b"from-b"[..]), "join picks the max");
@@ -540,11 +738,11 @@ mod tests {
         let mut a = KvStore::new(s(0));
         let mut b = KvStore::new(s(1));
         a.put("k", "base");
-        b.sync_from(&a, &JoinResolver).unwrap();
+        b.sync(&a).run().unwrap();
         a.delete("k");
         b.put("k", "rescued");
-        b.sync_from(&a, &JoinResolver).unwrap();
-        a.sync_from(&b, &JoinResolver).unwrap();
+        b.sync(&a).run().unwrap();
+        a.sync(&b).run().unwrap();
         assert_eq!(a.get("k"), Some(&b"rescued"[..]));
         assert!(a.consistent_with(&b));
     }
@@ -556,7 +754,7 @@ mod tests {
         // Propagate the seed.
         let src = stores[0].clone();
         for t in &mut stores[1..] {
-            t.sync_from(&src, &JoinResolver).unwrap();
+            t.sync(&src).run().unwrap();
         }
         // Everyone writes concurrently.
         for (i, store) in stores.iter_mut().enumerate() {
@@ -568,7 +766,7 @@ mod tests {
                 for j in 0..3 {
                     if i != j {
                         let src = stores[j].clone();
-                        stores[i].sync_from(&src, &JoinResolver).unwrap();
+                        stores[i].sync(&src).run().unwrap();
                     }
                 }
             }
@@ -585,11 +783,11 @@ mod tests {
         for i in 0..50 {
             a.put(format!("key{i}"), "v");
         }
-        let first = b.sync_from(&a, &JoinResolver).unwrap();
+        let first = b.sync(&a).run().unwrap();
         assert_eq!(first.keys_created, 50);
         // Nothing changed: the second pull costs only O(1) comparisons —
         // about ten bytes per key, independent of vector size.
-        let second = b.sync_from(&a, &JoinResolver).unwrap();
+        let second = b.sync(&a).run().unwrap();
         assert_eq!(second.keys_unchanged, 50);
         assert_eq!(second.value_bytes, 0);
         assert!(
@@ -600,7 +798,7 @@ mod tests {
         );
         // One changed key costs one delta, not 50 vectors.
         a.put("key7", "v2");
-        let third = b.sync_from(&a, &JoinResolver).unwrap();
+        let third = b.sync(&a).run().unwrap();
         assert_eq!(third.keys_fast_forwarded, 1);
     }
 
@@ -634,7 +832,7 @@ mod tests {
         let mut a = KvStore::new(s(0));
         let mut b = KvStore::new(s(1));
         a.put("x", "1");
-        b.sync_from(&a, &JoinResolver).unwrap();
+        b.sync(&a).run().unwrap();
         a.put("x", "2");
         a.put("y", "fresh");
         b.put("z", "local");
@@ -644,11 +842,13 @@ mod tests {
         // The contact dies partway through: endpoints exchange some
         // frames, then the link cuts. Nothing may be applied.
         let err = b
-            .sync_from_via(&a, &JoinResolver, |client, server| {
+            .sync(&a)
+            .via_fn(|client, server| {
                 let hello = optrep_core::sync::Endpoint::poll_send(client).unwrap();
                 optrep_core::sync::Endpoint::on_receive(server, hello)?;
                 Err(optrep_core::Error::ConnectionLost { after_bytes: 17 })
             })
+            .run()
             .unwrap_err();
         assert!(matches!(
             err,
@@ -658,8 +858,8 @@ mod tests {
         assert_eq!(b.stats(), stats, "no costs recorded for an aborted sync");
 
         // A clean follow-up sync converges as if the abort never happened.
-        b.sync_from(&a, &JoinResolver).unwrap();
-        a.sync_from(&b, &JoinResolver).unwrap();
+        b.sync(&a).run().unwrap();
+        a.sync(&b).run().unwrap();
         assert!(a.consistent_with(&b));
         assert_eq!(b.get("x"), Some(&b"2"[..]));
         assert_eq!(b.get("y"), Some(&b"fresh"[..]));
@@ -670,13 +870,13 @@ mod tests {
         let mut a = KvStore::new(s(0));
         let mut b = KvStore::new(s(1));
         a.put("k", "base");
-        b.sync_from(&a, &JoinResolver).unwrap();
+        b.sync(&a).run().unwrap();
         a.put("k", "a-side");
         b.put("k", "b-side");
-        b.sync_from(&a, &OursResolver).unwrap();
+        b.sync(&a).with_resolver(&OursResolver).run().unwrap();
         assert_eq!(b.get("k"), Some(&b"b-side"[..]));
         // b's resolution now dominates; a adopts it.
-        a.sync_from(&b, &OursResolver).unwrap();
+        a.sync(&b).with_resolver(&OursResolver).run().unwrap();
         assert_eq!(a.get("k"), Some(&b"b-side"[..]));
     }
 }

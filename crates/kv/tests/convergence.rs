@@ -3,7 +3,7 @@
 //! causally-latest write.
 
 use optrep_core::SiteId;
-use optrep_kv::{JoinResolver, KvStore};
+use optrep_kv::KvStore;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -41,7 +41,7 @@ fn run(stores: usize, schedule: &[Op]) -> Vec<KvStore> {
             }
             Op::Sync { dst, src } => {
                 let src = fleet[*src].clone();
-                fleet[*dst].sync_from(&src, &JoinResolver).expect("sync");
+                fleet[*dst].sync(&src).run().expect("sync");
             }
         }
     }
@@ -59,7 +59,7 @@ fn settle(fleet: &mut [KvStore]) {
                 }
                 let before = fleet[i].clone();
                 let src = fleet[j].clone();
-                fleet[i].sync_from(&src, &JoinResolver).expect("settle");
+                fleet[i].sync(&src).run().expect("settle");
                 if fleet[i] != before {
                     changed = true;
                 }

@@ -1,0 +1,1028 @@
+//! The parallel contact engine.
+//!
+//! Anti-entropy between *disjoint* site pairs is embarrassingly parallel:
+//! a pull contact reads one source and writes one destination, so any set
+//! of pairs forming a matching on the site graph can run concurrently
+//! without contention. This module schedules each gossip round as a
+//! sequence of maximal matchings ("waves") over the round's random
+//! `(dst, src)` pairing and executes every wave on a scoped
+//! [`std::thread`] worker pool, with each [`Site`] behind its own lock —
+//! a sharded `Vec<Mutex<Site>>`, no global cluster lock.
+//!
+//! One [`ContactOptions`] value configures everything the four historical
+//! `gossip_round_*` entry points hard-coded: the transport
+//! ([`Transport::Direct`] per-object sessions, [`Transport::Mux`] framed
+//! multi-object contacts, [`Transport::Stream`] the same frames chunked
+//! over the threaded byte-stream links of `optrep-net`), an optional
+//! [`FaultPlan`], the [`RetryPolicy`], the worker count, and a simulated
+//! per-round-trip link latency.
+//!
+//! # Determinism
+//!
+//! The whole round's pairing is drawn from the caller's RNG *before* any
+//! contact runs, consuming randomness exactly like the sequential rounds
+//! did. Waves are carved greedily in schedule order, so two contacts that
+//! share a site always execute in schedule order (in different waves),
+//! while contacts in the same wave are disjoint and commute: each writes
+//! one site, and the shared [`CounterSink`] is atomic and
+//! order-independent. A round is therefore byte-identical — same site
+//! digests, same transferred-byte counters — for *any* worker count,
+//! which `e10` and the engine tests assert.
+//!
+//! # Observability
+//!
+//! Sinks installed via [`obs::with`] are thread-local; the engine
+//! captures the scheduling thread's stack with [`obs::installed`] and
+//! re-installs it on every worker ([`obs::with_all`]) for the duration of
+//! the wave. The sinks themselves are shared `Arc`s, so one
+//! `CheckSink`/`CounterSink` instance is the merging aggregator for all
+//! workers — its invariants (byte conservation, Δ+Γ identity, the
+//! Theorem 5.1 bound) hold over the interleaved event stream because
+//! every contact and session carries a globally unique id.
+//!
+//! # Semantic deltas vs. the sequential rounds
+//!
+//! * Quarantine takes effect on the *next* round: the pairing (and thus
+//!   the candidate filtering) is computed up front, so a peer exhausted
+//!   mid-round still serves pairs already scheduled this round. Health
+//!   updates themselves are applied in schedule order after the round.
+//! * A fatal (non-link) error stops scheduling further waves; contacts
+//!   already launched in the failing wave still complete, and the sites
+//!   are always restored before the error propagates.
+
+use crate::gossip::{
+    absorb_session, apply_contact_site, capped_backoff, digest_site, make_endpoints, Cluster,
+    ContactEnv, PeerHealth, RetryPolicy, RoundReport,
+};
+use crate::meta::ReplicaMeta;
+use crate::mux::{run_contact, run_contact_faulty, ContactReport, CtrlMsg, MuxMsg};
+use crate::object::ObjectId;
+use crate::payload::{ReplicaPayload, WirePayload};
+use crate::protocol::SessionMsg;
+use crate::reconcile::Reconciler;
+use crate::session::sync_replica;
+use crate::site::Site;
+use optrep_core::obs::{self, CounterSink};
+use optrep_core::sync::{Endpoint, Framed, SyncOptions};
+use optrep_core::{obs_emit, Error, Result, SiteId, Srv};
+use optrep_net::mem::run_pair_stream;
+use optrep_net::{mix_seed, FaultPlan, FaultStats, FaultyLink};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the bytes of one contact travel between the paired sites.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// One in-process session per object (the original `gossip_round`
+    /// path). Works for every metadata scheme; supports no fault
+    /// injection (there is no wire to inject into).
+    Direct,
+    /// One framed multi-object contact driven in lockstep in-process
+    /// (the `contact`/`gossip_round_mux` path). SRV metadata only; this
+    /// is the transport fault plans inject into.
+    Mux,
+    /// The same framed contact chunked over the threaded byte-stream
+    /// links of `optrep-net` (`run_pair_stream`). Endpoints really run
+    /// on their own OS threads; frame interleaving (and hence the
+    /// speculative-element byte count) depends on scheduling, so byte
+    /// totals are not run-to-run deterministic — outcomes still are.
+    Stream {
+        /// Stream chunk size in bytes (must be non-zero).
+        chunk: usize,
+    },
+}
+
+/// Everything one gossip round needs to know about how to run its
+/// contacts: transport, fault plan, retry discipline, parallelism and
+/// simulated link latency. Replaces the `gossip_round` /
+/// `gossip_round_mux` / `gossip_round_resilient` / `gossip_round_faulty`
+/// parameter sprawl.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+#[must_use = "ContactOptions does nothing until passed to round_with/converge_with"]
+pub struct ContactOptions {
+    /// The contact transport.
+    pub transport: Transport,
+    /// Restrict the round to one object ([`Transport::Direct`] only);
+    /// `None` syncs every object the source hosts.
+    pub object: Option<ObjectId>,
+    /// Fault plan injected into every attempt, re-seeded per attempt via
+    /// [`ContactEnv::salt`]. [`Transport::Mux`] only.
+    pub fault: Option<FaultPlan>,
+    /// Retry-and-quarantine discipline for aborted contacts.
+    pub retry: RetryPolicy,
+    /// Worker threads per wave. `1` (the default) runs contacts inline
+    /// on the calling thread. Defaults to `$OPTREP_ENGINE_WORKERS` so CI
+    /// can push an entire suite through the parallel path.
+    pub workers: usize,
+    /// Simulated one-way-pair link latency, slept once per blocking
+    /// round trip of a committed contact (once flat for an aborted
+    /// attempt). Zero by default. Parallel workers overlap these waits —
+    /// anti-entropy over WANs is latency-bound, not CPU-bound — without
+    /// affecting byte counts or digests.
+    pub link_latency: Duration,
+}
+
+/// Worker-count default: `$OPTREP_ENGINE_WORKERS`, else 1 (inline).
+fn default_workers() -> usize {
+    std::env::var("OPTREP_ENGINE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
+
+impl ContactOptions {
+    fn new(transport: Transport) -> Self {
+        ContactOptions {
+            transport,
+            object: None,
+            fault: None,
+            retry: RetryPolicy::default(),
+            workers: default_workers(),
+            link_latency: Duration::ZERO,
+        }
+    }
+
+    /// Per-object in-process sessions (every metadata scheme).
+    pub fn direct() -> Self {
+        Self::new(Transport::Direct)
+    }
+
+    /// One framed multi-object contact per pair, driven in lockstep
+    /// in-process (SRV metadata only).
+    pub fn mux() -> Self {
+        Self::new(Transport::Mux)
+    }
+
+    /// The framed contact chunked over real threaded byte-stream links
+    /// (SRV metadata only). `chunk` must be non-zero.
+    pub fn stream(chunk: usize) -> Self {
+        Self::new(Transport::Stream { chunk })
+    }
+
+    /// Restricts the round to `object` ([`Transport::Direct`] only).
+    pub fn with_object(mut self, object: ObjectId) -> Self {
+        self.object = Some(object);
+        self
+    }
+
+    /// Injects `plan` into every attempt ([`Transport::Mux`] only),
+    /// re-seeded per attempt so retries see fresh deterministic weather.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the retry-and-quarantine discipline.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the worker-pool width (values below 1 mean inline).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the simulated per-round-trip link latency.
+    pub fn with_link_latency(mut self, latency: Duration) -> Self {
+        self.link_latency = latency;
+        self
+    }
+}
+
+/// What one contact attempt produced.
+#[derive(Debug)]
+pub enum Attempt {
+    /// The contact completed and its outcomes were committed to `dst`.
+    Committed {
+        /// Blocking round trips of the contact (drives latency
+        /// simulation and the `round_trips` counter).
+        round_trips: u64,
+        /// Link fault statistics for the attempt.
+        fault: FaultStats,
+    },
+    /// A link fault killed the attempt; nothing was committed and the
+    /// destination site is byte-identical to its pre-attempt state.
+    Aborted {
+        /// The link error that aborted the attempt.
+        error: Error,
+        /// Link fault statistics for the attempt.
+        fault: FaultStats,
+    },
+}
+
+/// How a metadata scheme runs one engine contact.
+///
+/// Implemented for every scheme in the crate: BRV/CRV and the full-vector
+/// baseline support [`Transport::Direct`] only (per-object sessions),
+/// while [`Srv`] additionally drives the framed mux transport — with
+/// optional fault injection — and the chunked byte-stream transport,
+/// because only SRV metadata embeds in the batched `SYNCS` engine
+/// ([`crate::protocol::supports_session`]).
+pub trait ContactScheme<P: ReplicaPayload>: ReplicaMeta + Sized {
+    /// Runs one contact attempt pulling `src_site` into `dst_site` and
+    /// commits a completed contact, recording costs in `stats`.
+    ///
+    /// # Errors
+    ///
+    /// `Err` is fatal (protocol violations on our own wire format, or a
+    /// transport the scheme does not support); recoverable link faults
+    /// surface as [`Attempt::Aborted`].
+    fn drive_contact(
+        env: &ContactEnv,
+        opts: &ContactOptions,
+        dst_site: &mut Site<Self, P>,
+        src_site: &Site<Self, P>,
+        reconciler: &dyn Reconciler<P>,
+        sync_opts: SyncOptions,
+        stats: &CounterSink,
+    ) -> Result<Attempt>;
+}
+
+fn unsupported(scheme: &'static str, transport: Transport) -> Error {
+    Error::UnexpectedMessage {
+        protocol: "engine",
+        message: format!(
+            "{scheme} metadata only supports Transport::Direct, got {transport:?}: \
+             the framed contact engine embeds SYNCS, which needs SRV metadata"
+        ),
+    }
+}
+
+/// The [`Transport::Direct`] attempt shared by every scheme: one
+/// in-process session per object, exactly as `Cluster::sync` runs them.
+fn drive_direct<M: ReplicaMeta, P: ReplicaPayload>(
+    opts: &ContactOptions,
+    dst_site: &mut Site<M, P>,
+    src_site: &Site<M, P>,
+    reconciler: &dyn Reconciler<P>,
+    sync_opts: SyncOptions,
+    stats: &CounterSink,
+) -> Result<Attempt> {
+    if opts.fault.is_some() {
+        return Err(Error::UnexpectedMessage {
+            protocol: "engine",
+            message: "Transport::Direct has no wire to inject faults into; use Transport::Mux"
+                .to_string(),
+        });
+    }
+    let objects = match opts.object {
+        Some(object) => vec![object],
+        None => src_site.objects(),
+    };
+    let mut round_trips = 0;
+    for object in objects {
+        let report = sync_replica(dst_site, src_site, object, reconciler, sync_opts)?;
+        absorb_session(stats, &report);
+        round_trips += 1;
+    }
+    Ok(Attempt::Committed {
+        round_trips,
+        fault: FaultStats::default(),
+    })
+}
+
+macro_rules! direct_only_scheme {
+    ($($m:ty),* $(,)?) => {$(
+        impl<P: ReplicaPayload> ContactScheme<P> for $m {
+            fn drive_contact(
+                _env: &ContactEnv,
+                opts: &ContactOptions,
+                dst_site: &mut Site<Self, P>,
+                src_site: &Site<Self, P>,
+                reconciler: &dyn Reconciler<P>,
+                sync_opts: SyncOptions,
+                stats: &CounterSink,
+            ) -> Result<Attempt> {
+                match opts.transport {
+                    Transport::Direct => {
+                        drive_direct(opts, dst_site, src_site, reconciler, sync_opts, stats)
+                    }
+                    other => Err(unsupported(<$m as ReplicaMeta>::NAME, other)),
+                }
+            }
+        }
+    )*};
+}
+
+direct_only_scheme!(
+    optrep_core::Brv,
+    optrep_core::Crv,
+    optrep_core::VersionVector,
+);
+
+impl<P: WirePayload> ContactScheme<P> for Srv {
+    fn drive_contact(
+        env: &ContactEnv,
+        opts: &ContactOptions,
+        dst_site: &mut Site<Self, P>,
+        src_site: &Site<Self, P>,
+        reconciler: &dyn Reconciler<P>,
+        sync_opts: SyncOptions,
+        stats: &CounterSink,
+    ) -> Result<Attempt> {
+        match opts.transport {
+            Transport::Direct => {
+                drive_direct(opts, dst_site, src_site, reconciler, sync_opts, stats)
+            }
+            Transport::Mux => drive_mux(env, opts, dst_site, src_site, reconciler, stats),
+            Transport::Stream { chunk } => {
+                drive_stream(env, opts, dst_site, src_site, reconciler, stats, chunk)
+            }
+        }
+    }
+}
+
+/// One framed lockstep contact, optionally over a fault-injected link.
+fn drive_mux<P: WirePayload>(
+    env: &ContactEnv,
+    opts: &ContactOptions,
+    dst_site: &mut Site<Srv, P>,
+    src_site: &Site<Srv, P>,
+    reconciler: &dyn Reconciler<P>,
+    stats: &CounterSink,
+) -> Result<Attempt> {
+    let (mut client, mut server) = make_endpoints(dst_site, src_site);
+    match opts.fault {
+        None => {
+            let report = run_contact(&mut client, &mut server)?;
+            apply_contact_site(dst_site, env.dst, reconciler, stats, client, &report)?;
+            Ok(Attempt::Committed {
+                round_trips: report.round_trips,
+                fault: FaultStats::default(),
+            })
+        }
+        Some(plan) => {
+            #[cfg(debug_assertions)]
+            let digest_before = digest_site(dst_site);
+            let mut link = FaultyLink::new(plan.reseeded(env.salt));
+            match run_contact_faulty(&mut client, &mut server, &mut link) {
+                Ok(report) => {
+                    apply_contact_site(dst_site, env.dst, reconciler, stats, client, &report)?;
+                    Ok(Attempt::Committed {
+                        round_trips: report.round_trips,
+                        fault: link.stats(),
+                    })
+                }
+                Err(error) => {
+                    #[cfg(debug_assertions)]
+                    debug_assert_eq!(
+                        digest_site(dst_site),
+                        digest_before,
+                        "aborted contact mutated {}",
+                        env.dst
+                    );
+                    Ok(Attempt::Aborted {
+                        error,
+                        fault: link.stats(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Wraps a mux endpoint so every outgoing frame is accounted into a
+/// shared [`ContactReport`] while [`run_pair_stream`] drives the pair on
+/// real threads. The client side also counts blocking round trips the
+/// way [`run_contact`] does: one for the `BatchHello` exchange, one more
+/// iff any stream requested a payload.
+struct Metered<E> {
+    inner: E,
+    client: bool,
+    meter: Arc<Mutex<StreamMeter>>,
+}
+
+#[derive(Default)]
+struct StreamMeter {
+    report: ContactReport,
+    payload_requested: bool,
+}
+
+impl<E: Endpoint<Msg = Framed<MuxMsg>>> Endpoint for Metered<E> {
+    type Msg = Framed<MuxMsg>;
+
+    fn poll_send(&mut self) -> Option<Framed<MuxMsg>> {
+        let framed = self.inner.poll_send()?;
+        let mut meter = self.meter.lock().unwrap_or_else(|e| e.into_inner());
+        meter.report.account(&framed);
+        if self.client {
+            match framed.msg {
+                MuxMsg::Ctrl(CtrlMsg::BatchHello { .. }) => meter.report.round_trips += 1,
+                MuxMsg::Session(SessionMsg::PayloadRequest) => meter.payload_requested = true,
+                _ => {}
+            }
+        }
+        Some(framed)
+    }
+
+    fn on_receive(&mut self, msg: Framed<MuxMsg>) -> Result<()> {
+        self.inner.on_receive(msg)
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+}
+
+/// One framed contact chunked over the threaded byte-stream links.
+///
+/// No obs contact scope is opened: the endpoints run on `optrep-net`'s
+/// link threads where the caller's sinks are not installed, and emitting
+/// a `ContactEnd` without its `FrameTx`s would break the byte-conservation
+/// invariant. Costs still land in `stats` via the metered report.
+fn drive_stream<P: WirePayload>(
+    env: &ContactEnv,
+    opts: &ContactOptions,
+    dst_site: &mut Site<Srv, P>,
+    src_site: &Site<Srv, P>,
+    reconciler: &dyn Reconciler<P>,
+    stats: &CounterSink,
+    chunk: usize,
+) -> Result<Attempt> {
+    if opts.fault.is_some() {
+        return Err(Error::UnexpectedMessage {
+            protocol: "engine",
+            message: "fault plans inject into the in-process framed driver; \
+                      use Transport::Mux for fault injection"
+                .to_string(),
+        });
+    }
+    let (client, server) = make_endpoints(dst_site, src_site);
+    let meter = Arc::new(Mutex::new(StreamMeter::default()));
+    let a = Metered {
+        inner: client,
+        client: true,
+        meter: Arc::clone(&meter),
+    };
+    let b = Metered {
+        inner: server,
+        client: false,
+        meter: Arc::clone(&meter),
+    };
+    let (a, _b, _link) = run_pair_stream(a, b, chunk)?;
+    let meter = Arc::try_unwrap(meter)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .unwrap_or_else(|arc| {
+            let m = arc.lock().unwrap_or_else(|e| e.into_inner());
+            StreamMeter {
+                report: m.report,
+                payload_requested: m.payload_requested,
+            }
+        });
+    let mut report = meter.report;
+    report.round_trips += u64::from(meter.payload_requested);
+    apply_contact_site(dst_site, env.dst, reconciler, stats, a.inner, &report)?;
+    Ok(Attempt::Committed {
+        round_trips: report.round_trips,
+        fault: FaultStats::default(),
+    })
+}
+
+/// Greedy maximal-matching partition of the round's pairing, in schedule
+/// order: scan the remaining pairs, admit each whose two sites are still
+/// free this wave, defer the rest. Conflicting pairs therefore always
+/// execute in schedule order (across waves); same-wave pairs are
+/// site-disjoint.
+fn matching_waves(pairs: &[(SiteId, SiteId)], n: usize) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..pairs.len()).collect();
+    let mut waves = Vec::new();
+    while !remaining.is_empty() {
+        let mut busy = vec![false; n];
+        let mut wave = Vec::new();
+        let mut deferred = Vec::new();
+        for &pi in &remaining {
+            let (dst, src) = pairs[pi];
+            let (d, s) = (dst.index() as usize, src.index() as usize);
+            if busy[d] || busy[s] {
+                deferred.push(pi);
+            } else {
+                busy[d] = true;
+                busy[s] = true;
+                wave.push(pi);
+            }
+        }
+        waves.push(wave);
+        remaining = deferred;
+    }
+    waves
+}
+
+/// What one `(dst, src)` pairing produced over all its attempts.
+#[derive(Debug, Default)]
+struct PairResult {
+    committed: bool,
+    aborted: u64,
+    retries: u64,
+    fault: FaultStats,
+    fatal: Option<Error>,
+}
+
+fn add_fault(acc: &mut FaultStats, s: FaultStats) {
+    acc.frames_offered += s.frames_offered;
+    acc.frames_delivered += s.frames_delivered;
+    acc.frames_dropped += s.frames_dropped;
+    acc.frames_truncated += s.frames_truncated;
+    acc.bytes_delivered += s.bytes_delivered;
+}
+
+/// Shared, immutable context for every contact of one round.
+struct RoundCtx<'a, M, P> {
+    shards: &'a [Mutex<Site<M, P>>],
+    round: u64,
+    opts: &'a ContactOptions,
+    sync_opts: SyncOptions,
+    stats: &'a CounterSink,
+}
+
+/// Sleeps out the simulated link latency for `round_trips` blocking
+/// exchanges.
+fn simulate_latency(opts: &ContactOptions, round_trips: u64) {
+    if opts.link_latency > Duration::ZERO && round_trips > 0 {
+        let trips = u32::try_from(round_trips).unwrap_or(u32::MAX);
+        std::thread::sleep(opts.link_latency * trips);
+    }
+}
+
+/// Runs every attempt of one `(dst, src)` pairing: locks the two site
+/// shards (in index order — the wave is a matching, so no other worker
+/// holds either, but ordered acquisition keeps the discipline
+/// deadlock-free by construction), then drives the scheme's contact with
+/// retries and per-attempt fault re-seeding.
+fn run_pair_contact<M, P>(
+    ctx: &RoundCtx<'_, M, P>,
+    reconciler: &dyn Reconciler<P>,
+    dst: SiteId,
+    src: SiteId,
+) -> PairResult
+where
+    M: ContactScheme<P>,
+    P: ReplicaPayload,
+{
+    let lock = |i: usize| ctx.shards[i].lock().unwrap_or_else(|e| e.into_inner());
+    let (d, s) = (dst.index() as usize, src.index() as usize);
+    let (mut dst_guard, src_guard) = if d < s {
+        let dg = lock(d);
+        let sg = lock(s);
+        (dg, sg)
+    } else {
+        let sg = lock(s);
+        let dg = lock(d);
+        (dg, sg)
+    };
+
+    let mut result = PairResult::default();
+    let max_attempts = u64::from(ctx.opts.retry.max_attempts.max(1));
+    for attempt in 1..=max_attempts {
+        let env = ContactEnv {
+            round: ctx.round,
+            dst,
+            src,
+            attempt,
+            salt: mix_seed(ctx.round, (u64::from(dst.index()) << 16) | attempt),
+        };
+        match M::drive_contact(
+            &env,
+            ctx.opts,
+            &mut dst_guard,
+            &src_guard,
+            reconciler,
+            ctx.sync_opts,
+            ctx.stats,
+        ) {
+            Ok(Attempt::Committed { round_trips, fault }) => {
+                add_fault(&mut result.fault, fault);
+                result.committed = true;
+                simulate_latency(ctx.opts, round_trips.max(1));
+                break;
+            }
+            Ok(Attempt::Aborted { error: _, fault }) => {
+                add_fault(&mut result.fault, fault);
+                result.aborted += 1;
+                simulate_latency(ctx.opts, 1);
+                if attempt < max_attempts {
+                    let backoff = capped_backoff(ctx.opts.retry, attempt);
+                    result.retries += 1;
+                    obs_emit!(obs::SyncEvent::Retry {
+                        dst: dst.index(),
+                        src: src.index(),
+                        attempt,
+                        backoff,
+                    });
+                }
+            }
+            Err(e) => {
+                result.fatal = Some(e);
+                break;
+            }
+        }
+    }
+    result
+}
+
+impl<M, P, R> Cluster<M, P, R>
+where
+    M: ContactScheme<P> + Send,
+    P: ReplicaPayload + Send,
+    R: Reconciler<P> + Sync,
+{
+    /// Runs one gossip round through the contact engine: every site pulls
+    /// from one uniformly random non-quarantined peer; the pairing is
+    /// partitioned into site-disjoint waves executed on up to
+    /// `opts.workers` scoped threads. Consumes randomness exactly like
+    /// the sequential rounds, and produces byte-identical results for any
+    /// worker count (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Link faults are absorbed into the report (retried, then
+    /// quarantining the source); only fatal errors — staging violations
+    /// on our own wire format, or a transport the metadata scheme does
+    /// not support — propagate. The first fatal error (in schedule
+    /// order) is returned after the sites are restored.
+    pub fn round_with<G: Rng>(
+        &mut self,
+        rng: &mut G,
+        opts: &ContactOptions,
+    ) -> Result<RoundReport> {
+        self.rounds += 1;
+        obs_emit!(obs::SyncEvent::GossipRound { round: self.rounds });
+        let n = self.sites.len() as u32;
+        let mut order: Vec<u32> = (0..n).collect();
+        order.shuffle(rng);
+        let mut report = RoundReport::default();
+
+        // The whole round's pairing, drawn up front: each destination
+        // picks uniformly among the non-quarantined other sites. The
+        // candidate list is ascending, so with nobody quarantined this
+        // consumes `gen_range(0..n-1)` with the same index mapping the
+        // sequential rounds used.
+        let mut pairs: Vec<(SiteId, SiteId)> = Vec::new();
+        for dst in order {
+            let candidates: Vec<u32> = (0..n)
+                .filter(|&s| s != dst && !self.quarantined(SiteId::new(s)))
+                .collect();
+            let Some(&src) = candidates.choose(rng) else {
+                report.skipped += 1;
+                continue;
+            };
+            pairs.push((SiteId::new(dst), SiteId::new(src)));
+        }
+        let waves = matching_waves(&pairs, self.sites.len());
+
+        let shards: Vec<Mutex<Site<M, P>>> = std::mem::take(&mut self.sites)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let ctx = RoundCtx {
+            shards: &shards,
+            round: self.rounds,
+            opts,
+            sync_opts: self.opts,
+            stats: &self.stats,
+        };
+        let workers = opts.workers.max(1);
+        let sinks = obs::installed();
+        let mut results: Vec<Option<PairResult>> = (0..pairs.len()).map(|_| None).collect();
+
+        let mut saw_fatal = false;
+        for wave in &waves {
+            if saw_fatal {
+                break;
+            }
+            if workers == 1 || wave.len() == 1 {
+                for &pi in wave {
+                    let (dst, src) = pairs[pi];
+                    let res = run_pair_contact(&ctx, &self.reconciler, dst, src);
+                    saw_fatal |= res.fatal.is_some();
+                    results[pi] = Some(res);
+                    if saw_fatal {
+                        break;
+                    }
+                }
+            } else {
+                let next = AtomicUsize::new(0);
+                let fatal_flag = AtomicBool::new(false);
+                let k = workers.min(wave.len());
+                let ctx = &ctx;
+                let reconciler = &self.reconciler;
+                let pairs = &pairs;
+                let wave_out: Vec<(usize, PairResult)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..k)
+                        .map(|_| {
+                            let sinks = sinks.clone();
+                            let next = &next;
+                            let fatal_flag = &fatal_flag;
+                            scope.spawn(move || {
+                                obs::with_all(sinks, || {
+                                    let mut local = Vec::new();
+                                    loop {
+                                        if fatal_flag.load(Ordering::Relaxed) {
+                                            break;
+                                        }
+                                        let i = next.fetch_add(1, Ordering::Relaxed);
+                                        if i >= wave.len() {
+                                            break;
+                                        }
+                                        let pi = wave[i];
+                                        let (dst, src) = pairs[pi];
+                                        let res = run_pair_contact(ctx, reconciler, dst, src);
+                                        if res.fatal.is_some() {
+                                            fatal_flag.store(true, Ordering::Relaxed);
+                                        }
+                                        local.push((pi, res));
+                                    }
+                                    local
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| match h.join() {
+                            Ok(local) => local,
+                            Err(panic) => std::panic::resume_unwind(panic),
+                        })
+                        .collect()
+                });
+                saw_fatal |= fatal_flag.load(Ordering::Relaxed);
+                for (pi, res) in wave_out {
+                    results[pi] = Some(res);
+                }
+            }
+        }
+
+        // Sites come back before any error can propagate.
+        self.sites = shards
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+
+        // Health updates and counters are settled in schedule order, so
+        // the outcome is independent of wave interleaving.
+        let mut fatal = None;
+        for (pi, res) in results.into_iter().enumerate() {
+            let Some(res) = res else { continue };
+            let (_, src) = pairs[pi];
+            report.aborted += res.aborted;
+            report.retries += res.retries;
+            add_fault(&mut report.fault, res.fault);
+            if let Some(e) = res.fatal {
+                if fatal.is_none() {
+                    fatal = Some(e);
+                }
+                continue;
+            }
+            if res.committed {
+                self.health[src.index() as usize] = PeerHealth::default();
+                report.contacts += 1;
+            } else {
+                let health = &mut self.health[src.index() as usize];
+                health.failures += 1;
+                health.quarantined_until =
+                    self.rounds + capped_backoff(opts.retry, u64::from(health.failures));
+            }
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Runs engine rounds until the cluster is consistent (for
+    /// `opts.object` when set, over every hosted object otherwise), up to
+    /// `max_rounds`. Returns `(rounds_taken, per-round reports)`;
+    /// `rounds_taken` is `None` if the budget ran out. This is the one
+    /// convergence loop behind the deprecated `converge` /
+    /// `converge_mux` / `converge_faulty` trio.
+    ///
+    /// # Errors
+    ///
+    /// See [`round_with`](Self::round_with).
+    pub fn converge_with<G: Rng>(
+        &mut self,
+        rng: &mut G,
+        opts: &ContactOptions,
+        max_rounds: u64,
+    ) -> Result<(Option<u64>, Vec<RoundReport>)> {
+        let mut reports = Vec::new();
+        for round in 1..=max_rounds {
+            reports.push(self.round_with(rng, opts)?);
+            let consistent = match opts.object {
+                Some(object) => self.is_consistent(object),
+                None => self.is_consistent_all(),
+            };
+            if consistent {
+                return Ok((Some(round), reports));
+            }
+        }
+        Ok((None, reports))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::TokenSet;
+    use crate::reconcile::UnionReconciler;
+    use optrep_core::Brv;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seeded_cluster(n: u32, objects: u64) -> Cluster<Srv, TokenSet, UnionReconciler> {
+        let mut cluster: Cluster<Srv, TokenSet, UnionReconciler> = Cluster::new(n, UnionReconciler);
+        for i in 0..objects {
+            let owner = SiteId::new((i % u64::from(n)) as u32);
+            cluster
+                .site_mut(owner)
+                .create_object(ObjectId::new(i), TokenSet::singleton(format!("seed{i}")));
+        }
+        cluster
+    }
+
+    fn all_digests(cluster: &Cluster<Srv, TokenSet, UnionReconciler>) -> Vec<Vec<u8>> {
+        (0..cluster.len() as u32)
+            .map(|i| cluster.site_digest(SiteId::new(i)))
+            .collect()
+    }
+
+    #[test]
+    fn waves_are_matchings_and_preserve_schedule_order() {
+        let id = SiteId::new;
+        // dst 0←1, 1←2, 2←1, 3←0: pairs 1 and 2 share site 1 and 2; pair 3
+        // shares site 0 with pair 0.
+        let pairs = vec![
+            (id(0), id(1)),
+            (id(1), id(2)),
+            (id(2), id(1)),
+            (id(3), id(0)),
+        ];
+        let waves = matching_waves(&pairs, 4);
+        for wave in &waves {
+            let mut busy = std::collections::HashSet::new();
+            for &pi in wave {
+                let (d, s) = pairs[pi];
+                assert!(busy.insert(d), "wave reuses {d}");
+                assert!(busy.insert(s), "wave reuses {s}");
+            }
+        }
+        // Conflicting pairs run in schedule order across waves.
+        let wave_of = |pi: usize| waves.iter().position(|w| w.contains(&pi)).unwrap();
+        assert!(
+            wave_of(1) < wave_of(2),
+            "1 and 2 conflict; 1 scheduled first"
+        );
+        assert!(
+            wave_of(0) < wave_of(3),
+            "0 and 3 conflict; 0 scheduled first"
+        );
+        let scheduled: usize = waves.iter().map(Vec::len).sum();
+        assert_eq!(scheduled, pairs.len());
+    }
+
+    #[test]
+    fn parallel_round_is_byte_identical_to_sequential() {
+        for transport in [ContactOptions::direct(), ContactOptions::mux()] {
+            let mut sequential = seeded_cluster(12, 6);
+            let mut parallel = sequential.clone();
+            let mut rng_a = StdRng::seed_from_u64(0xD16E57);
+            let mut rng_b = StdRng::seed_from_u64(0xD16E57);
+            let opts_seq = transport.clone().with_workers(1);
+            let opts_par = transport.with_workers(4);
+            for _ in 0..6 {
+                let a = sequential.round_with(&mut rng_a, &opts_seq).unwrap();
+                let b = parallel.round_with(&mut rng_b, &opts_par).unwrap();
+                assert_eq!(a, b, "round reports diverged");
+            }
+            assert_eq!(all_digests(&sequential), all_digests(&parallel));
+            assert_eq!(
+                sequential.stats().counters,
+                parallel.stats().counters,
+                "byte counters must not depend on the worker count"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_faulty_round_is_deterministic_across_worker_counts() {
+        let plan = FaultPlan::dropping(0xFA11, 100);
+        let opts = |w| {
+            ContactOptions::mux()
+                .with_fault(plan)
+                .with_retry(RetryPolicy::default())
+                .with_workers(w)
+        };
+        let run = |workers: usize| {
+            let mut cluster = seeded_cluster(10, 5);
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+            let (rounds, reports) = cluster
+                .converge_with(&mut rng, &opts(workers), 200)
+                .unwrap();
+            (
+                rounds,
+                reports,
+                all_digests(&cluster),
+                cluster.stats().counters,
+            )
+        };
+        let (rounds_1, reports_1, digests_1, counters_1) = run(1);
+        let (rounds_8, reports_8, digests_8, counters_8) = run(8);
+        assert!(rounds_1.is_some(), "faulty cluster converged");
+        assert_eq!(rounds_1, rounds_8);
+        assert_eq!(reports_1, reports_8);
+        assert_eq!(digests_1, digests_8);
+        assert_eq!(counters_1, counters_8);
+        let aborted: u64 = reports_1.iter().map(|r| r.aborted).sum();
+        assert!(aborted > 0, "10% drop should abort something");
+        let wire: u64 = reports_1.iter().map(|r| r.fault.frames_dropped).sum();
+        assert!(wire > 0, "fault stats flow into the round reports");
+    }
+
+    #[test]
+    fn stream_transport_converges_with_byte_accounting() {
+        let mut cluster = seeded_cluster(4, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let opts = ContactOptions::stream(16);
+        // Convergence (all hosted replicas equal) can precede full
+        // replication, so keep gossiping until every site hosts everything.
+        for _ in 0..50 {
+            if cluster.fully_replicated() {
+                break;
+            }
+            cluster.round_with(&mut rng, &opts).unwrap();
+        }
+        assert!(cluster.fully_replicated());
+        let stats = cluster.stats();
+        assert!(stats.contacts > 0);
+        assert!(stats.round_trips > 0);
+        assert!(stats.payload_bytes > 0);
+        assert!(stats.framing_bytes > 0);
+    }
+
+    #[test]
+    fn direct_only_schemes_reject_framed_transports() {
+        let mut cluster: Cluster<Brv, TokenSet, UnionReconciler> = Cluster::new(3, UnionReconciler);
+        cluster
+            .site_mut(SiteId::new(0))
+            .create_object(ObjectId::new(0), TokenSet::singleton("x"));
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = cluster
+            .round_with(&mut rng, &ContactOptions::mux())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::UnexpectedMessage {
+                protocol: "engine",
+                ..
+            }
+        ));
+        // The cluster survives the fatal error intact.
+        assert_eq!(cluster.len(), 3);
+        assert!(cluster
+            .site(SiteId::new(0))
+            .replica(ObjectId::new(0))
+            .is_some());
+    }
+
+    #[test]
+    fn total_frame_loss_quarantines_every_source() {
+        let mut cluster = seeded_cluster(2, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let policy = RetryPolicy::default();
+        let opts = ContactOptions::mux()
+            .with_fault(FaultPlan::dropping(9, 1000)) // 100% frame drop
+            .with_retry(policy);
+        let report = cluster.round_with(&mut rng, &opts).unwrap();
+        assert_eq!(report.contacts, 0);
+        assert_eq!(report.aborted, 2 * u64::from(policy.max_attempts));
+        assert_eq!(report.retries, 2 * u64::from(policy.max_attempts - 1));
+        assert!(cluster.quarantined(SiteId::new(0)));
+        assert!(cluster.quarantined(SiteId::new(1)));
+        // Next round: every candidate quarantined, so both sites skip.
+        let report = cluster.round_with(&mut rng, &opts).unwrap();
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.aborted, 0);
+    }
+
+    #[test]
+    fn link_latency_is_simulated_per_round_trip() {
+        let mut cluster = seeded_cluster(2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let latency = Duration::from_millis(5);
+        let opts = ContactOptions::mux().with_link_latency(latency);
+        let start = std::time::Instant::now();
+        let report = cluster.round_with(&mut rng, &opts).unwrap();
+        assert_eq!(report.contacts, 2);
+        assert!(
+            start.elapsed() >= latency * 2,
+            "two contacts must sleep at least one latency each"
+        );
+    }
+}

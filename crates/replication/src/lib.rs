@@ -20,6 +20,7 @@
 //! byte-accurate costs, which the `optrep-bench` harness aggregates into
 //! the paper's tables and figures.
 
+pub mod engine;
 pub mod gossip;
 pub mod meta;
 pub mod mux;
@@ -31,6 +32,7 @@ pub mod reconcile;
 pub mod session;
 pub mod site;
 
+pub use engine::{Attempt, ContactOptions, ContactScheme, Transport};
 pub use gossip::{Cluster, ClusterSnapshot, ClusterStats, ContactEnv, RetryPolicy, RoundReport};
 pub use meta::ReplicaMeta;
 pub use mux::{

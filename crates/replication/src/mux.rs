@@ -1008,7 +1008,7 @@ pub fn classify(framed: &Framed<MuxMsg>) -> FrameBytes {
 }
 
 impl ContactReport {
-    fn account(&mut self, framed: &Framed<MuxMsg>) {
+    pub(crate) fn account(&mut self, framed: &Framed<MuxMsg>) {
         let bytes = classify(framed);
         self.total_bytes += bytes.total();
         self.frames += 1;

@@ -115,7 +115,7 @@ pub fn sync_replica<M, P, R>(
 where
     M: ReplicaMeta,
     P: ReplicaPayload,
-    R: Reconciler<P>,
+    R: Reconciler<P> + ?Sized,
 {
     let scope = obs::session_scope(M::NAME, opts.is_lockstep());
     let report = sync_replica_inner(dst, src, object, reconciler, opts)?;
@@ -133,7 +133,7 @@ fn sync_replica_inner<M, P, R>(
 where
     M: ReplicaMeta,
     P: ReplicaPayload,
-    R: Reconciler<P>,
+    R: Reconciler<P> + ?Sized,
 {
     let Some(src_replica) = src.replica(object) else {
         return Ok(SessionReport::comparison_only(Outcome::SourceMissing, 0));

@@ -9,7 +9,9 @@
 
 use optrep_core::{SiteId, Srv};
 use optrep_net::{FaultPlan, FaultyLink};
-use optrep_replication::{Cluster, ObjectId, RetryPolicy, TokenSet, UnionReconciler};
+use optrep_replication::{
+    Cluster, ContactOptions, ObjectId, RetryPolicy, TokenSet, UnionReconciler,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,12 +120,20 @@ fn chaos_cluster() -> Cluster<Srv, TokenSet, UnionReconciler> {
     cluster
 }
 
-/// Full convergence: every site hosts all six objects and all replicas
-/// agree — `is_consistent_all` alone ignores sites an object never
-/// reached, which under heavy loss would declare victory early.
-fn fully_replicated(cluster: &Cluster<Srv, TokenSet, UnionReconciler>) -> bool {
-    (0..16).all(|s| cluster.site(SiteId::new(s)).replica_count() == 6)
-        && cluster.is_consistent_all()
+/// The chaos contact options: 10% seeded frame drop, default retries,
+/// and a parallel worker pool. Workers default to
+/// `OPTREP_ENGINE_WORKERS` (the CI matrix drives 2 and 8); when unset,
+/// force a pool of four so the test exercises the engine's concurrent
+/// path either way.
+fn chaos_opts() -> ContactOptions {
+    let opts = ContactOptions::mux()
+        .with_fault(FaultPlan::dropping(0xD10, 100))
+        .with_retry(RetryPolicy::default());
+    if std::env::var_os("OPTREP_ENGINE_WORKERS").is_none() {
+        opts.with_workers(4)
+    } else {
+        opts
+    }
 }
 
 /// The gossip-schedule seed: `OPTREP_CHAOS_SEED` when set (CI runs a
@@ -136,10 +146,11 @@ fn chaos_seed() -> u64 {
 }
 
 /// The headline acceptance criterion: a seeded 10% frame-drop plan on a
-/// 16-site cluster converges, with zero panics, while the
-/// invariant-checking sink audits every event. (Metadata byte-identity
-/// across each aborted attempt is additionally asserted inside
-/// `gossip_round_resilient` in debug builds, which tests are.)
+/// 16-site cluster converges through the parallel contact engine, with
+/// zero panics, while the invariant-checking sink — re-installed on
+/// every engine worker — audits every event. (Metadata byte-identity
+/// across each aborted attempt is additionally asserted inside the
+/// engine's faulty driver in debug builds, which tests are.)
 #[cfg(feature = "obs")]
 #[test]
 fn sixteen_sites_converge_under_ten_percent_frame_loss() {
@@ -150,16 +161,16 @@ fn sixteen_sites_converge_under_ten_percent_frame_loss() {
     let (rounds, reports) = obs::with(sink.clone(), || {
         let mut rng = StdRng::seed_from_u64(chaos_seed());
         let mut cluster = chaos_cluster();
-        let plan = FaultPlan::dropping(0xD10, 100); // 10% frame drop
+        let opts = chaos_opts();
         let mut reports = Vec::new();
         let mut rounds = None;
         for round in 1..=300u64 {
             reports.push(
                 cluster
-                    .gossip_round_faulty(&mut rng, plan, RetryPolicy::default())
+                    .round_with(&mut rng, &opts)
                     .expect("staging never fails on our own wire format"),
             );
-            if fully_replicated(&cluster) {
+            if cluster.fully_replicated() {
                 rounds = Some(round);
                 break;
             }
@@ -190,13 +201,13 @@ fn sixteen_sites_converge_under_ten_percent_frame_loss() {
 fn sixteen_sites_converge_under_ten_percent_frame_loss() {
     let mut rng = StdRng::seed_from_u64(chaos_seed());
     let mut cluster = chaos_cluster();
-    let plan = FaultPlan::dropping(0xD10, 100);
+    let opts = chaos_opts();
     let mut converged = false;
     for _ in 1..=300u64 {
         cluster
-            .gossip_round_faulty(&mut rng, plan, RetryPolicy::default())
+            .round_with(&mut rng, &opts)
             .expect("staging never fails on our own wire format");
-        if fully_replicated(&cluster) {
+        if cluster.fully_replicated() {
             converged = true;
             break;
         }

@@ -14,7 +14,9 @@
 //! ```
 
 use optrep::core::{Causality, SiteId, Srv, VersionVector};
-use optrep::replication::{Cluster, ObjectId, ReplicaMeta, TokenSet, UnionReconciler};
+use optrep::replication::{
+    Cluster, ContactOptions, ContactScheme, ObjectId, TokenSet, UnionReconciler,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,7 +27,9 @@ const ROUNDS: u32 = 60;
 /// instead of the freshest one — the source of genuine conflicts.
 const STALE_EDIT_PROB: f64 = 0.08;
 
-fn run_store<M: ReplicaMeta>(seed: u64) -> Cluster<M, TokenSet, UnionReconciler> {
+fn run_store<M: ContactScheme<TokenSet> + Send>(
+    seed: u64,
+) -> Cluster<M, TokenSet, UnionReconciler> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cluster: Cluster<M, TokenSet, UnionReconciler> = Cluster::new(SITES, UnionReconciler);
 
@@ -68,7 +72,9 @@ fn run_store<M: ReplicaMeta>(seed: u64) -> Cluster<M, TokenSet, UnionReconciler>
         // travelled (any site now dominating the old holder).
         for f in 0..FILES {
             let file = ObjectId::new(f);
-            cluster.gossip_round(&mut rng, file).expect("gossip");
+            cluster
+                .round_with(&mut rng, &ContactOptions::direct().with_object(file))
+                .expect("gossip");
             // Nightly sweep through the main server: reconciliation
             // results propagate promptly, stopping version-vector churn
             // (each Parker §C increment is itself a concurrent update that

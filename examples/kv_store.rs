@@ -7,7 +7,7 @@
 //! ```
 
 use optrep::core::SiteId;
-use optrep::kv::{JoinResolver, KvStore};
+use optrep::kv::KvStore;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut laptop = KvStore::new(SiteId::new(0));
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     laptop.put("scratch", "temp note");
 
     // The phone pulls everything on first sync.
-    let report = phone.sync_from(&laptop, &JoinResolver)?;
+    let report = phone.sync(&laptop).run()?;
     println!(
         "phone first sync: {} keys created, {} meta bytes, {} value bytes",
         report.keys_created, report.meta_bytes, report.value_bytes
@@ -34,12 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     phone.put("theme", "light");
 
     // Opportunistic sync both ways.
-    let report = phone.sync_from(&laptop, &JoinResolver)?;
+    let report = phone.sync(&laptop).run()?;
     println!(
         "phone ⇐ laptop: {} fast-forwarded, {} reconciled, {} unchanged",
         report.keys_fast_forwarded, report.keys_reconciled, report.keys_unchanged
     );
-    let report = laptop.sync_from(&phone, &JoinResolver)?;
+    let report = laptop.sync(&phone).run()?;
     println!(
         "laptop ⇐ phone: {} fast-forwarded, {} reconciled, {} unchanged",
         report.keys_fast_forwarded, report.keys_reconciled, report.keys_unchanged
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(laptop.consistent_with(&phone));
 
     // A tablet joins later and catches up in one pull.
-    tablet.sync_from(&laptop, &JoinResolver)?;
+    tablet.sync(&laptop).run()?;
     assert!(tablet.consistent_with(&laptop));
 
     println!("\nconverged settings:");

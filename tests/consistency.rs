@@ -4,7 +4,9 @@
 //! state for the same trace.
 
 use optrep::core::{Crv, SiteId, Srv, VersionVector};
-use optrep::replication::{Cluster, ObjectId, ReplicaMeta, TokenSet, UnionReconciler};
+use optrep::replication::{
+    Cluster, ContactOptions, ObjectId, ReplicaMeta, TokenSet, UnionReconciler,
+};
 use optrep::workloads::trace::{replay, Topology, TraceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,7 +90,9 @@ fn convergence_under_sustained_conflict_storm() {
                 p.insert(format!("{site}:{round}"));
             });
         }
-        cluster.gossip_round(&mut rng, obj()).expect("gossip");
+        cluster
+            .round_with(&mut rng, &ContactOptions::direct().with_object(obj()))
+            .expect("gossip");
     }
     cluster.settle(obj()).expect("final settle");
     assert!(cluster.is_consistent(obj()));
@@ -115,7 +119,9 @@ fn brv_cluster_converges_without_conflicts() {
         cluster.site_mut(SiteId::new(0)).update(obj(), |p| {
             p.insert(format!("w{round}"));
         });
-        cluster.gossip_round(&mut rng, obj()).expect("gossip");
+        cluster
+            .round_with(&mut rng, &ContactOptions::direct().with_object(obj()))
+            .expect("gossip");
     }
     cluster.settle(obj()).expect("settle");
     assert!(cluster.is_consistent(obj()));

@@ -25,7 +25,7 @@ use optrep::net::sim::{SimConfig, SimLink};
 use optrep::replication::mux::{run_contact, BatchPullClient, BatchPullServer};
 use optrep::replication::payload::TokenSet;
 use optrep::replication::reconcile::UnionReconciler;
-use optrep::replication::{Cluster, ObjectId};
+use optrep::replication::{Cluster, ContactOptions, ObjectId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -189,7 +189,9 @@ fn check_sink_holds_over_gossip_convergence() {
             .site_mut(SiteId::new(0))
             .create_object(obj, TokenSet::singleton("init"));
         for round in 0..4u32 {
-            cluster.gossip_round(&mut rng, obj).expect("gossip round");
+            cluster
+                .round_with(&mut rng, &ContactOptions::direct().with_object(obj))
+                .expect("gossip round");
             for i in 0..4u32 {
                 let site = SiteId::new(i);
                 if cluster.site(site).replica(obj).is_some() {
@@ -199,14 +201,14 @@ fn check_sink_holds_over_gossip_convergence() {
                 }
             }
         }
-        cluster
-            .converge(&mut rng, obj, 200)
-            .expect("gossip")
-            .expect("converged");
-        cluster
-            .converge_mux(&mut rng, 200)
-            .expect("mux gossip")
-            .expect("converged");
+        let (rounds, _) = cluster
+            .converge_with(&mut rng, &ContactOptions::direct().with_object(obj), 200)
+            .expect("gossip");
+        rounds.expect("converged");
+        let (rounds, _) = cluster
+            .converge_with(&mut rng, &ContactOptions::mux(), 200)
+            .expect("mux gossip");
+        rounds.expect("converged");
         assert!(cluster.stats().sessions > 0);
         assert!(cluster.stats().contacts > 0);
     });
