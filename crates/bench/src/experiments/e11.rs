@@ -1,0 +1,148 @@
+//! E11 — Loopback TCP vs in-memory contacts: same bytes, real sockets.
+//!
+//! The daemon (`optrepd`) serves the exact framed contact the in-memory
+//! engine drives, so moving a contact onto a real socket must change
+//! *nothing* about its cost model: the rotating-vector protocol's
+//! compare/meta/payload/framing counters — the quantities Theorem 5.1
+//! bounds — are byte-identical, and only wall-clock pays for the kernel
+//! round-trips. This experiment converges the same seeded cluster twice
+//! per size, once over [`Transport::Mux`] (in-process lockstep) and
+//! once over [`Transport::Tcp`] (one real loopback connection per
+//! contact, accept/serve on a spawned thread), asserts identical
+//! rounds, byte counters and final site digests, and reports the
+//! wall-clock overhead of the socket path.
+//!
+//! The TURN markers the half-duplex TCP discipline adds are transport
+//! overhead by design and deliberately excluded from the protocol
+//! counters — that exclusion is exactly what the byte-equality assert
+//! here pins down.
+//!
+//! Release runs use the ISSUE's n=16 and n=64 sizes; debug/test runs
+//! scale down (sockets per contact are cheap but not free) without
+//! changing what is asserted.
+
+use crate::table::{ratio, Table};
+use optrep_core::SiteId;
+use optrep_replication::object::ObjectId;
+use optrep_replication::{Cluster, ClusterSnapshot, ContactOptions, TokenSet, UnionReconciler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// (sites, objects) per workload row.
+#[cfg(not(debug_assertions))]
+const WORKLOADS: &[(u32, u64)] = &[(16, 32), (64, 128)];
+#[cfg(debug_assertions)]
+const WORKLOADS: &[(u32, u64)] = &[(4, 8), (8, 16)];
+
+/// Convergence budget in gossip rounds.
+const MAX_ROUNDS: u64 = 400;
+
+/// What one converged run produced.
+struct TransportRun {
+    elapsed: Duration,
+    rounds: u64,
+    stats: ClusterSnapshot,
+    digests: Vec<Vec<u8>>,
+}
+
+/// Converges a fresh seeded cluster of `sites`/`objects` under `opts`
+/// and returns timing, cost counters and final per-site digests.
+fn converge(sites: u32, objects: u64, opts: &ContactOptions) -> TransportRun {
+    let mut rng = StdRng::seed_from_u64(0xE11);
+    let mut cluster: Cluster<optrep_core::Srv, TokenSet, UnionReconciler> =
+        Cluster::new(sites, UnionReconciler);
+    for i in 0..objects {
+        cluster
+            .site_mut(SiteId::new((i % u64::from(sites)) as u32))
+            .create_object(ObjectId::new(i), TokenSet::singleton(format!("seed{i}")));
+    }
+    let start = Instant::now();
+    let mut rounds = 0;
+    for round in 1..=MAX_ROUNDS {
+        cluster
+            .round_with(&mut rng, opts)
+            .expect("loopback links cannot fail");
+        if cluster.fully_replicated() {
+            rounds = round;
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        rounds > 0,
+        "{sites} sites failed to fully replicate within {MAX_ROUNDS} rounds"
+    );
+    let digests = (0..sites)
+        .map(|s| cluster.site_digest(SiteId::new(s)))
+        .collect();
+    TransportRun {
+        elapsed,
+        rounds,
+        stats: cluster.stats(),
+        digests,
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E11: loopback TCP vs in-memory contacts (identical bytes, wall-clock overhead)",
+        &[
+            "sites",
+            "objects",
+            "rounds",
+            "contacts",
+            "wire bytes",
+            "mem ms",
+            "tcp ms",
+            "tcp/mem",
+        ],
+    );
+    for &(sites, objects) in WORKLOADS {
+        let mem = converge(sites, objects, &ContactOptions::mux());
+        let tcp = converge(sites, objects, &ContactOptions::tcp());
+        // The transport-transparency guarantee: sockets change
+        // wall-clock only, never the trajectory or the counters.
+        assert_eq!(
+            tcp.rounds, mem.rounds,
+            "{sites}-site TCP run took a different number of rounds"
+        );
+        assert_eq!(
+            tcp.stats, mem.stats,
+            "{sites}-site TCP run moved different bytes"
+        );
+        assert_eq!(
+            tcp.digests, mem.digests,
+            "{sites}-site TCP run reached different final state"
+        );
+        let wire = mem.stats.compare_bytes
+            + mem.stats.meta_bytes
+            + mem.stats.framing_bytes
+            + mem.stats.payload_bytes;
+        t.row([
+            sites.to_string(),
+            objects.to_string(),
+            mem.rounds.to_string(),
+            mem.stats.contacts.to_string(),
+            wire.to_string(),
+            format!("{:.1}", mem.elapsed.as_secs_f64() * 1e3),
+            format!("{:.1}", tcp.elapsed.as_secs_f64() * 1e3),
+            ratio(tcp.elapsed.as_secs_f64(), mem.elapsed.as_secs_f64()),
+        ]);
+    }
+    t.note("identical rounds, byte counters and site digests across transports (asserted)");
+    t.note("tcp/mem is socket wall-clock over in-process; one loopback connection per contact");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tcp_and_mux_transports_are_byte_identical() {
+        // The asserts inside `run` are the test.
+        let tables = super::run();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), super::WORKLOADS.len());
+    }
+}

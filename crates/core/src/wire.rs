@@ -292,6 +292,92 @@ impl FrameDecoder {
     }
 }
 
+/// The four magic bytes opening every `optrepd` connection preamble.
+pub const HANDSHAKE_MAGIC: [u8; 4] = *b"OPTR";
+
+/// Wire protocol version carried by the [`Handshake`]. Bump on any
+/// incompatible change to the frame or message formats.
+pub const HANDSHAKE_VERSION: u8 = 1;
+
+/// What the connecting peer intends to do with the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intent {
+    /// A client-verb session: request/response frames on stream 0
+    /// (`get`/`put`/`sync`/`status`/`digest`).
+    Verbs,
+    /// An anti-entropy pull: the connector drives a batched mux contact
+    /// as the pulling side; the accepting daemon serves its store.
+    Pull,
+}
+
+/// The first frame on every socket connection: magic, protocol version,
+/// the connector's site id and its [`Intent`]. Sent as the payload of a
+/// stream-0 frame so the receiving side reassembles it with the same
+/// [`FrameDecoder`] that carries the rest of the conversation; a peer
+/// speaking anything else fails the magic check instead of wedging the
+/// frame layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handshake {
+    /// Index of the connecting site (`u32::MAX` for anonymous clients).
+    pub site: u32,
+    /// What the connection will carry.
+    pub intent: Intent,
+}
+
+impl Handshake {
+    /// A handshake from `site` with `intent`.
+    pub fn new(site: u32, intent: Intent) -> Self {
+        Handshake { site, intent }
+    }
+
+    /// Encodes the preamble: magic, version, site varint, intent byte.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&HANDSHAKE_MAGIC);
+        buf.put_u8(HANDSHAKE_VERSION);
+        put_varint(&mut buf, u64::from(self.site));
+        buf.put_u8(match self.intent {
+            Intent::Verbs => 0,
+            Intent::Pull => 1,
+        });
+        buf.freeze()
+    }
+
+    /// Decodes a preamble.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidPayload`] on bad magic (the peer is not
+    /// speaking this protocol), [`WireError::UnknownTag`] on an
+    /// unsupported version or intent, [`WireError::UnexpectedEof`] on
+    /// truncation.
+    pub fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if buf.remaining() < HANDSHAKE_MAGIC.len() + 1 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if magic != HANDSHAKE_MAGIC {
+            return Err(WireError::InvalidPayload);
+        }
+        let version = buf.get_u8();
+        if version != HANDSHAKE_VERSION {
+            return Err(WireError::UnknownTag(version));
+        }
+        let site = get_varint(buf)?;
+        let site = u32::try_from(site).map_err(|_| WireError::InvalidPayload)?;
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let intent = match buf.get_u8() {
+            0 => Intent::Verbs,
+            1 => Intent::Pull,
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        Ok(Handshake { site, intent })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,5 +579,53 @@ mod tests {
                 max: 4
             })
         );
+    }
+
+    #[test]
+    fn handshake_roundtrip() {
+        for intent in [Intent::Verbs, Intent::Pull] {
+            let hs = Handshake::new(7, intent);
+            let mut buf = hs.encode();
+            assert_eq!(Handshake::decode(&mut buf), Ok(hs));
+            assert!(buf.is_empty());
+        }
+        let anon = Handshake::new(u32::MAX, Intent::Verbs);
+        let mut buf = anon.encode();
+        assert_eq!(Handshake::decode(&mut buf), Ok(anon));
+    }
+
+    #[test]
+    fn handshake_rejects_garbage() {
+        // Wrong magic: a peer speaking some other protocol.
+        let mut buf = Bytes::from_static(b"HTTP/1.1 200");
+        assert_eq!(Handshake::decode(&mut buf), Err(WireError::InvalidPayload));
+
+        // Unsupported version.
+        let mut raw = BytesMut::new();
+        raw.put_slice(&HANDSHAKE_MAGIC);
+        raw.put_u8(HANDSHAKE_VERSION + 1);
+        put_varint(&mut raw, 0);
+        raw.put_u8(0);
+        let mut buf = raw.freeze();
+        assert_eq!(
+            Handshake::decode(&mut buf),
+            Err(WireError::UnknownTag(HANDSHAKE_VERSION + 1))
+        );
+
+        // Unknown intent.
+        let mut raw = BytesMut::new();
+        raw.put_slice(&HANDSHAKE_MAGIC);
+        raw.put_u8(HANDSHAKE_VERSION);
+        put_varint(&mut raw, 0);
+        raw.put_u8(9);
+        let mut buf = raw.freeze();
+        assert_eq!(Handshake::decode(&mut buf), Err(WireError::UnknownTag(9)));
+
+        // Every truncation of a valid preamble is an error, never a panic.
+        let full = Handshake::new(3, Intent::Pull).encode();
+        for cut in 0..full.len() {
+            let mut buf = full.slice(0..cut);
+            assert!(Handshake::decode(&mut buf).is_err(), "cut {cut}");
+        }
     }
 }

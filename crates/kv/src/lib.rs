@@ -126,6 +126,10 @@ pub struct KvStore {
     site: SiteId,
     entries: BTreeMap<String, Entry>,
     stats: CounterSink,
+    /// Bumped on every local write. Lets a daemon detect that the store
+    /// changed between snapshotting a pull's endpoint and applying its
+    /// outcomes (see [`KvStore::generation`]).
+    generation: u64,
 }
 
 /// Equality is over the replicated state (site and entries); the local
@@ -143,6 +147,7 @@ impl KvStore {
             site,
             entries: BTreeMap::new(),
             stats: CounterSink::new(),
+            generation: 0,
         }
     }
 
@@ -170,6 +175,7 @@ impl KvStore {
     }
 
     fn write(&mut self, key: String, value: Value) {
+        self.generation += 1;
         let site = self.site;
         let entry = self.entries.entry(key).or_insert_with(|| Entry {
             meta: Srv::new(),
@@ -324,26 +330,81 @@ impl KvStore {
     where
         F: FnOnce(&mut BatchPullClient, &mut BatchPullServer) -> Result<ContactReport>,
     {
+        let mut client = self.client_endpoint();
+        let mut server = other.server_endpoint();
+        let contact = run(&mut client, &mut server)?;
+        self.apply_contact(resolver, client, &contact)
+    }
+
+    /// Monotone write counter: bumped on every [`put`](Self::put) /
+    /// [`delete`](Self::delete). A daemon serving concurrent clients
+    /// snapshots this together with [`client_endpoint`](Self::client_endpoint),
+    /// releases its lock for the network exchange, and re-checks the
+    /// generation before [`apply_contact`](Self::apply_contact): if it
+    /// moved, the pull raced a local write and must be retried against
+    /// fresh metadata instead of committing stale outcomes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The pulling half of an anti-entropy contact: one stream per
+    /// tracked key (tombstones included), carrying this store's current
+    /// metadata. Pair it with a peer's
+    /// [`server_endpoint`](Self::server_endpoint), drive the contact
+    /// over any transport (in-process lockstep, a `TcpLink`, …), then
+    /// commit with [`apply_contact`](Self::apply_contact).
+    pub fn client_endpoint(&self) -> BatchPullClient {
+        BatchPullClient::new(
+            self.entries
+                .iter()
+                .map(|(key, entry)| (Bytes::from(key.clone().into_bytes()), entry.meta.clone())),
+        )
+    }
+
+    /// The serving half of an anti-entropy contact: metadata plus the
+    /// encoded value for every tracked key, ready to answer any puller.
+    /// The serving store is never modified by a contact.
+    pub fn server_endpoint(&self) -> BatchPullServer {
+        BatchPullServer::new(self.entries.iter().map(|(key, entry)| {
+            (
+                Bytes::from(key.clone().into_bytes()),
+                entry.meta.clone(),
+                encode_value(&entry.value),
+            )
+        }))
+    }
+
+    /// Commits a completed contact's outcomes to this store.
+    ///
+    /// `client` must be the endpoint created by
+    /// [`client_endpoint`](Self::client_endpoint) **on this store in its
+    /// current state**, driven to completion; `contact` is the report the
+    /// driver returned. Application is transactional: every outcome is
+    /// decoded and validated into a staging list before the first key is
+    /// touched, so a corrupt payload mid-batch leaves the store
+    /// byte-identical and uncounted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire error if an outcome's payload is missing or
+    /// malformed; the store is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contact has not run to completion (the endpoint
+    /// still holds undelivered frames).
+    pub fn apply_contact(
+        &mut self,
+        resolver: &dyn Resolver,
+        client: BatchPullClient,
+        contact: &ContactReport,
+    ) -> Result<KvSyncReport> {
         enum Staged {
             Create { value: Value },
             FastForward { value: Value },
             Reconcile { theirs: Value },
             Clean,
         }
-
-        let mut client = BatchPullClient::new(
-            self.entries
-                .iter()
-                .map(|(key, entry)| (Bytes::from(key.clone().into_bytes()), entry.meta.clone())),
-        );
-        let mut server = BatchPullServer::new(other.entries.iter().map(|(key, entry)| {
-            (
-                Bytes::from(key.clone().into_bytes()),
-                entry.meta.clone(),
-                encode_value(&entry.value),
-            )
-        }));
-        let contact = run(&mut client, &mut server)?;
 
         // Stage: decode and validate everything before touching a key.
         let mut staged: Vec<(String, Srv, SessionTotals, Staged)> = Vec::new();
@@ -414,6 +475,9 @@ impl KvStore {
                 }
             }
         }
+        if report.keys_created + report.keys_fast_forwarded + report.keys_reconciled > 0 {
+            self.generation += 1;
+        }
         Ok(report)
     }
 
@@ -428,6 +492,52 @@ impl KvStore {
                 e.value == o.value && e.meta.to_version_vector() == o.meta.to_version_vector()
             })
         })
+    }
+
+    /// A site-independent digest of the replicated state: two stores
+    /// have equal digests iff they hold the same keys, values and
+    /// version vectors — [`consistent_with`](Self::consistent_with)
+    /// without needing both stores in one process. This is what
+    /// `optrep digest` prints and what the cluster smoke test compares
+    /// across daemons.
+    ///
+    /// (The [snapshot](Self::encode_snapshot) embeds the hosting site
+    /// id and raw rotating-vector segments, both of which legitimately
+    /// differ between converged replicas, so snapshot bytes cannot be
+    /// compared across sites.)
+    pub fn replica_digest(&self) -> u64 {
+        // FNV-1a, matching the engine's site digests in spirit: cheap,
+        // deterministic, and plenty for equality checks.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.entries.len() as u64).to_le_bytes());
+        for (key, entry) in &self.entries {
+            eat(&(key.len() as u64).to_le_bytes());
+            eat(key.as_bytes());
+            match &entry.value {
+                Some(v) => {
+                    eat(&[1]);
+                    eat(&(v.len() as u64).to_le_bytes());
+                    eat(v);
+                }
+                None => eat(&[0]),
+            }
+            let mut pairs: Vec<(SiteId, u64)> = entry.meta.to_version_vector().iter().collect();
+            pairs.sort_by_key(|&(site, _)| site.index());
+            eat(&(pairs.len() as u64).to_le_bytes());
+            for (site, count) in pairs {
+                eat(&u64::from(site.index()).to_le_bytes());
+                eat(&count.to_le_bytes());
+            }
+        }
+        hash
     }
 
     /// Serializes the whole store into a durable snapshot.
@@ -480,6 +590,7 @@ impl KvStore {
             site,
             entries,
             stats: CounterSink::new(),
+            generation: 0,
         })
     }
 }
@@ -863,6 +974,65 @@ mod tests {
         assert!(a.consistent_with(&b));
         assert_eq!(b.get("x"), Some(&b"2"[..]));
         assert_eq!(b.get("y"), Some(&b"fresh"[..]));
+    }
+
+    #[test]
+    fn replica_digest_is_site_independent() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("x", "1");
+        a.put("y", "2");
+        a.delete("y");
+        assert_ne!(a.replica_digest(), b.replica_digest());
+        b.sync(&a).run().unwrap();
+        assert!(b.consistent_with(&a));
+        assert_eq!(
+            a.replica_digest(),
+            b.replica_digest(),
+            "converged replicas on different sites must digest equal"
+        );
+        // Snapshot bytes, by contrast, embed the site id.
+        assert_ne!(a.encode_snapshot(), b.encode_snapshot());
+        b.put("x", "3");
+        assert_ne!(a.replica_digest(), b.replica_digest());
+    }
+
+    #[test]
+    fn generation_tracks_every_state_change() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        assert_eq!(b.generation(), 0);
+        b.put("k", "v");
+        assert_eq!(b.generation(), 1);
+        b.delete("k");
+        assert_eq!(b.generation(), 2);
+        a.put("other", "v");
+        let before = b.generation();
+        b.sync(&a).run().unwrap();
+        assert!(b.generation() > before, "an applied pull moves the store");
+        // A no-op pull (nothing to apply) leaves the generation alone.
+        let before = b.generation();
+        b.sync(&a).run().unwrap();
+        assert_eq!(b.generation(), before);
+    }
+
+    #[test]
+    fn public_endpoints_drive_a_contact_like_sync() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("x", "1");
+        a.put("y", "2");
+        b.put("x", "0");
+        let mut reference = b.clone();
+        reference.sync(&a).run().unwrap();
+
+        let mut client = b.client_endpoint();
+        let mut server = a.server_endpoint();
+        let contact = run_contact(&mut client, &mut server).unwrap();
+        let report = b.apply_contact(&JoinResolver, client, &contact).unwrap();
+        assert_eq!(report.keys_examined, 2);
+        assert!(b.consistent_with(&reference));
+        assert_eq!(b.replica_digest(), reference.replica_digest());
     }
 
     #[test]

@@ -15,12 +15,17 @@
 //! * [`fault`] — deterministic seeded fault injection ([`FaultyLink`]):
 //!   frame drops, mid-write truncation, byte-exact disconnects and
 //!   silent stalls, for chaos experiments and recovery tests.
+//! * [`tcp`] — real sockets: [`TcpLink`] moves the same wire frames
+//!   over a `std::net::TcpStream` with deadlines, bounded connect
+//!   retry and graceful FIN, for daemon deployments (`optrepd`).
 
 pub mod fault;
 pub mod link;
 pub mod mem;
 pub mod sim;
+pub mod tcp;
 
 pub use fault::{mix_seed, FaultPlan, FaultStats, FaultyLink, TransmitOutcome};
 pub use link::LinkStats;
 pub use sim::{SimConfig, SimLink, SimReport};
+pub use tcp::{ConnectOptions, FrameLink, TcpLink};

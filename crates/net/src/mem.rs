@@ -230,7 +230,7 @@ mod tests {
     }
 
     #[test]
-    fn brv_sync_over_threads() {
+    fn brv_sync_over_threads() -> Result<()> {
         let mut b = Brv::new();
         for i in 0..50 {
             b.record_update(s(i % 10));
@@ -238,15 +238,16 @@ mod tests {
         let a = Brv::new();
         let relation = a.compare(&b);
         let tx = VectorSender::new(b.clone());
-        let rx = SyncBReceiver::new(a, relation).unwrap();
-        let (_, rx, stats) = run_pair(tx, rx).unwrap();
+        let rx = SyncBReceiver::new(a, relation)?;
+        let (_, rx, stats) = run_pair(tx, rx)?;
         let (out, _) = rx.finish();
         assert_eq!(out, b);
         assert!(stats.bytes_ab > 0);
+        Ok(())
     }
 
     #[test]
-    fn crv_reconciliation_over_threads() {
+    fn crv_reconciliation_over_threads() -> Result<()> {
         let mut a = Crv::new();
         let mut b = Crv::new();
         a.record_update(s(0));
@@ -257,15 +258,16 @@ mod tests {
         assert!(relation.is_concurrent());
         let tx = VectorSender::new(b.clone());
         let rx = SyncCReceiver::new(a, relation);
-        let (_, rx, _) = run_pair(tx, rx).unwrap();
+        let (_, rx, _) = run_pair(tx, rx)?;
         let (out, _) = rx.finish();
         for i in 0..4 {
             assert_eq!(out.value(s(i)), 1);
         }
+        Ok(())
     }
 
     #[test]
-    fn srv_sync_over_threads_matches_lockstep() {
+    fn srv_sync_over_threads_matches_lockstep() -> Result<()> {
         let build = || {
             let mut a = Srv::new();
             let mut b = Srv::new();
@@ -278,19 +280,20 @@ mod tests {
             (a, b)
         };
         let (mut a_lock, b) = build();
-        optrep_core::sync::drive::sync_srv(&mut a_lock, &b).unwrap();
+        optrep_core::sync::drive::sync_srv(&mut a_lock, &b)?;
 
         let (a, b) = build();
         let relation = a.compare(&b);
         let tx = VectorSender::new(b);
         let rx = SyncSReceiver::new(a, relation);
-        let (_, rx, _) = run_pair(tx, rx).unwrap();
+        let (_, rx, _) = run_pair(tx, rx)?;
         let (a_threaded, _) = rx.finish();
         assert_eq!(
             a_lock.to_version_vector(),
             a_threaded.to_version_vector(),
             "threaded and lockstep runs agree on values"
         );
+        Ok(())
     }
 
     /// Adapts a plain endpoint onto a single stream of a framed
@@ -315,7 +318,7 @@ mod tests {
     }
 
     #[test]
-    fn srv_sync_over_byte_stream_matches_lockstep() {
+    fn srv_sync_over_byte_stream_matches_lockstep() -> Result<()> {
         let build = || {
             let mut a = Srv::new();
             let mut b = Srv::new();
@@ -328,14 +331,14 @@ mod tests {
             (a, b)
         };
         let (mut a_lock, b) = build();
-        optrep_core::sync::drive::sync_srv(&mut a_lock, &b).unwrap();
+        optrep_core::sync::drive::sync_srv(&mut a_lock, &b)?;
 
         // One-byte chunks: every frame arrives split across many reads.
         let (a, b) = build();
         let relation = a.compare(&b);
         let tx = OneStream(VectorSender::new(b), 3);
         let rx = OneStream(SyncSReceiver::new(a, relation), 3);
-        let (_, rx, stats) = run_pair_stream(tx, rx, 1).unwrap();
+        let (_, rx, stats) = run_pair_stream(tx, rx, 1)?;
         let (a_streamed, _) = rx.0.finish();
         assert_eq!(
             a_lock.to_version_vector(),
@@ -343,10 +346,11 @@ mod tests {
             "byte-stream and lockstep runs agree on values"
         );
         assert!(stats.bytes_ab > 0);
+        Ok(())
     }
 
     #[test]
-    fn stream_transport_handles_whole_frame_chunks() {
+    fn stream_transport_handles_whole_frame_chunks() -> Result<()> {
         // Large chunks degenerate to whole-frame delivery and still work.
         let mut b = Brv::new();
         for i in 0..12 {
@@ -355,10 +359,11 @@ mod tests {
         let a = Brv::new();
         let relation = a.compare(&b);
         let tx = OneStream(VectorSender::new(b.clone()), 9);
-        let rx = OneStream(SyncBReceiver::new(a, relation).unwrap(), 9);
-        let (_, rx, _) = run_pair_stream(tx, rx, 64 * 1024).unwrap();
+        let rx = OneStream(SyncBReceiver::new(a, relation)?, 9);
+        let (_, rx, _) = run_pair_stream(tx, rx, 64 * 1024)?;
         let (out, _) = rx.0.finish();
         assert_eq!(out, b);
+        Ok(())
     }
 
     /// An endpoint that panics as soon as it is polled.
@@ -415,7 +420,7 @@ mod tests {
     }
 
     #[test]
-    fn graph_sync_over_threads() {
+    fn graph_sync_over_threads() -> Result<()> {
         let mut b = CausalGraph::new();
         b.record_root(NodeId::of(s(0), 0));
         for i in 1..30 {
@@ -428,9 +433,10 @@ mod tests {
         }
         let tx = SyncGSender::new(b.clone());
         let rx = SyncGReceiver::new(a);
-        let (_, rx, _) = run_pair(tx, rx).unwrap();
+        let (_, rx, _) = run_pair(tx, rx)?;
         let (out, received) = rx.finish();
         assert!(out.contains_graph(&b));
         assert_eq!(received.len(), 20);
+        Ok(())
     }
 }

@@ -55,7 +55,10 @@ use crate::gossip::{
     ContactEnv, PeerHealth, RetryPolicy, RoundReport,
 };
 use crate::meta::ReplicaMeta;
-use crate::mux::{run_contact, run_contact_faulty, ContactReport, CtrlMsg, MuxMsg};
+use crate::mux::{
+    run_contact, run_contact_faulty, run_contact_link, serve_contact_link, ContactReport, CtrlMsg,
+    MuxMsg,
+};
 use crate::object::ObjectId;
 use crate::payload::{ReplicaPayload, WirePayload};
 use crate::protocol::SessionMsg;
@@ -66,7 +69,7 @@ use optrep_core::obs::{self, CounterSink};
 use optrep_core::sync::{Endpoint, Framed, SyncOptions};
 use optrep_core::{obs_emit, Error, Result, SiteId, Srv};
 use optrep_net::mem::run_pair_stream;
-use optrep_net::{mix_seed, FaultPlan, FaultStats, FaultyLink};
+use optrep_net::{mix_seed, ConnectOptions, FaultPlan, FaultStats, FaultyLink, TcpLink};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -94,6 +97,13 @@ pub enum Transport {
         /// Stream chunk size in bytes (must be non-zero).
         chunk: usize,
     },
+    /// The framed contact over a real loopback TCP connection
+    /// ([`optrep_net::TcpLink`]): the source endpoint is served from a
+    /// listener thread while the destination dials and pulls. Runs the
+    /// same half-duplex lockstep as [`Transport::Mux`], so byte totals
+    /// *are* deterministic and identical to the in-process contact —
+    /// only wall-clock differs. SRV metadata only.
+    Tcp,
 }
 
 /// Everything one gossip round needs to know about how to run its
@@ -163,6 +173,12 @@ impl ContactOptions {
     /// (SRV metadata only). `chunk` must be non-zero.
     pub fn stream(chunk: usize) -> Self {
         Self::new(Transport::Stream { chunk })
+    }
+
+    /// The framed contact over a real loopback TCP connection (SRV
+    /// metadata only); byte-identical to [`Self::mux`].
+    pub fn tcp() -> Self {
+        Self::new(Transport::Tcp)
     }
 
     /// Restricts the round to `object` ([`Transport::Direct`] only).
@@ -336,6 +352,7 @@ impl<P: WirePayload> ContactScheme<P> for Srv {
             Transport::Stream { chunk } => {
                 drive_stream(env, opts, dst_site, src_site, reconciler, stats, chunk)
             }
+            Transport::Tcp => drive_tcp(env, opts, dst_site, src_site, reconciler, stats),
         }
     }
 }
@@ -484,6 +501,102 @@ fn drive_stream<P: WirePayload>(
         round_trips: report.round_trips,
         fault: FaultStats::default(),
     })
+}
+
+/// One framed lockstep contact over a real loopback TCP connection.
+///
+/// A listener is bound on an ephemeral loopback port and the source
+/// site's [`BatchPullServer`](crate::mux::BatchPullServer) is served
+/// from a spawned thread ([`serve_contact_link`]); the calling thread
+/// dials it with [`TcpLink::connect`] and pulls through
+/// [`run_contact_link`]. Both halves are the same deterministic state
+/// machines the in-process runner drives in the same lockstep regime,
+/// so the committed [`ContactReport`] is byte-identical to
+/// [`Transport::Mux`] — `e11` measures exactly this overhead-without-
+/// byte-drift property.
+///
+/// The caller's obs sinks are re-installed on the serving thread
+/// (shared `Arc`s, as the wave workers do), so server-side session
+/// events still reach the caller's aggregators; the contact scope and
+/// both directions' frame events are emitted by the pulling side.
+///
+/// A link failure (dial failure after retries, timeout, dropped
+/// connection) surfaces as [`Attempt::Aborted`] with the destination
+/// site untouched — same contract as the fault-injected path.
+fn drive_tcp<P: WirePayload>(
+    env: &ContactEnv,
+    opts: &ContactOptions,
+    dst_site: &mut Site<Srv, P>,
+    src_site: &Site<Srv, P>,
+    reconciler: &dyn Reconciler<P>,
+    stats: &CounterSink,
+) -> Result<Attempt> {
+    if opts.fault.is_some() {
+        return Err(Error::UnexpectedMessage {
+            protocol: "engine",
+            message: "fault plans inject into the in-process framed driver; \
+                      use Transport::Mux for fault injection"
+                .to_string(),
+        });
+    }
+    let (mut client, mut server) = make_endpoints(dst_site, src_site);
+    let conn_opts = ConnectOptions::new();
+    // Bind/addr failures are environmental (no loopback?), not link
+    // weather: fatal, like a protocol violation.
+    let listener =
+        std::net::TcpListener::bind(("127.0.0.1", 0)).map_err(|e| Error::UnexpectedMessage {
+            protocol: "engine",
+            message: format!("cannot bind loopback listener: {e}"),
+        })?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| Error::UnexpectedMessage {
+            protocol: "engine",
+            message: format!("loopback listener has no address: {e}"),
+        })?;
+    let sinks = obs::installed();
+    let serve = std::thread::spawn(move || {
+        obs::with_all(sinks, || {
+            let (stream, _) = listener
+                .accept()
+                .map_err(|_| Error::ConnectionLost { after_bytes: 0 })?;
+            let mut link = TcpLink::from_stream(stream, &conn_opts)?;
+            serve_contact_link(&mut server, &mut link)
+        })
+    });
+    #[cfg(debug_assertions)]
+    let digest_before = digest_site(dst_site);
+    let pulled = TcpLink::connect(addr, &conn_opts)
+        .and_then(|mut link| run_contact_link(&mut client, &mut link));
+    let served = serve.join().map_err(|_| Error::PeerFailed {
+        protocol: "tcp contact",
+    });
+    match pulled {
+        Ok(report) => {
+            debug_assert!(
+                matches!(served, Ok(Ok(()))),
+                "client completed but server failed: {served:?}"
+            );
+            apply_contact_site(dst_site, env.dst, reconciler, stats, client, &report)?;
+            Ok(Attempt::Committed {
+                round_trips: report.round_trips,
+                fault: FaultStats::default(),
+            })
+        }
+        Err(error) => {
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                digest_site(dst_site),
+                digest_before,
+                "aborted contact mutated {}",
+                env.dst
+            );
+            Ok(Attempt::Aborted {
+                error,
+                fault: FaultStats::default(),
+            })
+        }
+    }
 }
 
 /// Greedy maximal-matching partition of the round's pairing, in schedule
@@ -908,6 +1021,29 @@ mod tests {
                 "byte counters must not depend on the worker count"
             );
         }
+    }
+
+    #[test]
+    fn tcp_transport_is_byte_identical_to_mux() {
+        let mut in_process = seeded_cluster(6, 4);
+        let mut over_tcp = in_process.clone();
+        let mut rng_a = StdRng::seed_from_u64(0x7C9);
+        let mut rng_b = StdRng::seed_from_u64(0x7C9);
+        let (rounds_a, reports_a) = in_process
+            .converge_with(&mut rng_a, &ContactOptions::mux(), 100)
+            .unwrap();
+        let (rounds_b, reports_b) = over_tcp
+            .converge_with(&mut rng_b, &ContactOptions::tcp(), 100)
+            .unwrap();
+        assert!(rounds_a.is_some(), "mux cluster converged");
+        assert_eq!(rounds_a, rounds_b);
+        assert_eq!(reports_a, reports_b, "per-round reports must match");
+        assert_eq!(all_digests(&in_process), all_digests(&over_tcp));
+        assert_eq!(
+            in_process.stats().counters,
+            over_tcp.stats().counters,
+            "real sockets must not change a single accounted byte"
+        );
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! caller-provided seeded RNG, so runs are reproducible; all costs are
 //! aggregated into [`ClusterStats`], which the benchmark harness reads.
 
-use crate::engine::{ContactOptions, ContactScheme};
 use crate::meta::ReplicaMeta;
 use crate::mux::{
     run_contact, run_contact_faulty, BatchPullClient, BatchPullServer, ContactReport,
@@ -20,7 +19,7 @@ use bytes::{Bytes, BytesMut};
 use optrep_core::obs::{self, CounterSink, CounterSnapshot, SessionTotals};
 use optrep_core::sync::SyncOptions;
 use optrep_core::{obs_emit, wire, Causality, Error, Result, SiteId, Srv};
-use optrep_net::{mix_seed, FaultPlan, FaultStats, FaultyLink};
+use optrep_net::{mix_seed, FaultStats, FaultyLink};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -122,7 +121,7 @@ pub struct RoundReport {
 }
 
 /// The coordinates of one contact attempt, passed to
-/// [`ContactScheme::drive_contact`] by the engine (and historically to
+/// [`crate::engine::ContactScheme::drive_contact`] by the engine (and historically to
 /// the contact runner of [`Cluster::gossip_round_resilient`]).
 #[derive(Debug, Clone, Copy)]
 pub struct ContactEnv {
@@ -135,7 +134,7 @@ pub struct ContactEnv {
     /// Attempt number for this pairing within the round (1-based).
     pub attempt: u64,
     /// Seed salt unique to this attempt — feed it to
-    /// [`FaultPlan::reseeded`] so a retry does not replay the identical
+    /// [`optrep_net::FaultPlan::reseeded`] so a retry does not replay the identical
     /// fault pattern.
     pub salt: u64,
 }
@@ -252,23 +251,6 @@ where
         Ok(report)
     }
 
-    /// Runs one gossip round for `object`: every site pulls from one
-    /// uniformly random peer, in random order.
-    ///
-    /// # Errors
-    ///
-    /// Propagates protocol errors.
-    #[deprecated(note = "use `round_with(rng, &ContactOptions::direct().with_object(object))`")]
-    pub fn gossip_round<G: Rng>(&mut self, rng: &mut G, object: ObjectId) -> Result<()>
-    where
-        M: ContactScheme<P> + Send,
-        P: Send,
-        R: Sync,
-    {
-        self.round_with(rng, &ContactOptions::direct().with_object(object))
-            .map(|_| ())
-    }
-
     /// `true` iff every site hosting `object` has an identical payload and
     /// identical metadata values (eventual consistency reached).
     pub fn is_consistent(&self, object: ObjectId) -> bool {
@@ -329,35 +311,6 @@ where
             }
         }
         Ok(())
-    }
-
-    /// Gossips until every replica of `object` is consistent, up to
-    /// `max_rounds`. Returns the number of rounds taken, or `None` if the
-    /// budget ran out.
-    ///
-    /// # Errors
-    ///
-    /// Propagates protocol errors.
-    #[deprecated(
-        note = "use `converge_with(rng, &ContactOptions::direct().with_object(object), max_rounds)`"
-    )]
-    pub fn converge<G: Rng>(
-        &mut self,
-        rng: &mut G,
-        object: ObjectId,
-        max_rounds: u64,
-    ) -> Result<Option<u64>>
-    where
-        M: ContactScheme<P> + Send,
-        P: Send,
-        R: Sync,
-    {
-        self.converge_with(
-            rng,
-            &ContactOptions::direct().with_object(object),
-            max_rounds,
-        )
-        .map(|(rounds, _)| rounds)
     }
 
     /// Every object id hosted by at least one site, sorted.
@@ -660,40 +613,6 @@ where
         digest_site(&self.sites[site.index() as usize])
     }
 
-    /// One gossip round through the mux engine: every site pulls **all**
-    /// objects from one uniformly random peer over a single framed
-    /// connection, in random order. Consumes randomness exactly like
-    /// [`gossip_round`](Self::gossip_round).
-    ///
-    /// # Errors
-    ///
-    /// Propagates protocol errors.
-    #[deprecated(note = "use `round_with(rng, &ContactOptions::mux())`")]
-    pub fn gossip_round_mux<G: Rng>(&mut self, rng: &mut G) -> Result<()>
-    where
-        P: Send,
-        R: Sync,
-    {
-        self.round_with(rng, &ContactOptions::mux()).map(|_| ())
-    }
-
-    /// Runs mux gossip rounds until every hosted object is consistent, up
-    /// to `max_rounds`. Returns the number of rounds taken, or `None` if
-    /// the budget ran out.
-    ///
-    /// # Errors
-    ///
-    /// Propagates protocol errors.
-    #[deprecated(note = "use `converge_with(rng, &ContactOptions::mux(), max_rounds)`")]
-    pub fn converge_mux<G: Rng>(&mut self, rng: &mut G, max_rounds: u64) -> Result<Option<u64>>
-    where
-        P: Send,
-        R: Sync,
-    {
-        self.converge_with(rng, &ContactOptions::mux(), max_rounds)
-            .map(|(rounds, _)| rounds)
-    }
-
     /// One mux gossip round that survives contact failures. Each site
     /// pulls from one uniformly random **non-quarantined** peer; `run`
     /// drives the actual contact (typically [`run_contact_faulty`] over a
@@ -708,7 +627,7 @@ where
     /// (in debug builds) to be byte-identical to their pre-attempt state.
     ///
     /// Unlike the engine path, the closure decides the transport per
-    /// attempt, which [`ContactOptions`] cannot express — so this method
+    /// attempt, which [`crate::engine::ContactOptions`] cannot express — so this method
     /// keeps its sequential body instead of forwarding. Prefer
     /// [`round_with`](Self::round_with) unless you need a custom runner.
     ///
@@ -790,70 +709,16 @@ where
         }
         Ok(report)
     }
-
-    /// [`gossip_round_resilient`](Self::gossip_round_resilient) with every
-    /// contact run over a [`FaultyLink`]: each attempt derives its own
-    /// link from `plan` re-seeded by the attempt's salt, so retries see
-    /// fresh (but still deterministic) weather instead of replaying the
-    /// exact fault that killed them.
-    ///
-    /// # Errors
-    ///
-    /// See [`gossip_round_resilient`](Self::gossip_round_resilient).
-    #[deprecated(
-        note = "use `round_with(rng, &ContactOptions::mux().with_fault(plan).with_retry(policy))`"
-    )]
-    pub fn gossip_round_faulty<G: Rng>(
-        &mut self,
-        rng: &mut G,
-        plan: FaultPlan,
-        policy: RetryPolicy,
-    ) -> Result<RoundReport>
-    where
-        P: Send,
-        R: Sync,
-    {
-        self.round_with(
-            rng,
-            &ContactOptions::mux().with_fault(plan).with_retry(policy),
-        )
-    }
-
-    /// Runs faulty gossip rounds until every hosted object is consistent,
-    /// up to `max_rounds`. Returns `(rounds_taken, per-round reports)`;
-    /// `rounds_taken` is `None` if the budget ran out.
-    ///
-    /// # Errors
-    ///
-    /// See [`gossip_round_resilient`](Self::gossip_round_resilient).
-    #[deprecated(
-        note = "use `converge_with(rng, &ContactOptions::mux().with_fault(plan).with_retry(policy), max_rounds)`"
-    )]
-    pub fn converge_faulty<G: Rng>(
-        &mut self,
-        rng: &mut G,
-        plan: FaultPlan,
-        policy: RetryPolicy,
-        max_rounds: u64,
-    ) -> Result<(Option<u64>, Vec<RoundReport>)>
-    where
-        P: Send,
-        R: Sync,
-    {
-        self.converge_with(
-            rng,
-            &ContactOptions::mux().with_fault(plan).with_retry(policy),
-            max_rounds,
-        )
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{ContactOptions, ContactScheme};
     use crate::payload::TokenSet;
     use crate::reconcile::UnionReconciler;
     use optrep_core::{Crv, Srv, VersionVector};
+    use optrep_net::FaultPlan;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -35,7 +35,7 @@ use optrep_core::obs::{self, SessionTotals};
 use optrep_core::sync::{Endpoint, Framed, ProtocolMsg, WireMsg};
 use optrep_core::wire::FrameDecoder;
 use optrep_core::{obs_emit, wire, SiteId, Srv};
-use optrep_net::{FaultyLink, TransmitOutcome};
+use optrep_net::{FaultyLink, FrameLink, TransmitOutcome};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Stream identifier reserved for connection-level control frames.
@@ -1250,6 +1250,210 @@ fn drive_faulty(
     }
 }
 
+/// Stream identifier reserved for link-layer turn markers on duplex
+/// transports ([`run_contact_link`]/[`serve_contact_link`]). Never a
+/// protocol stream: markers are consumed at the link layer and are not
+/// accounted in the [`ContactReport`] (they are transport overhead, like
+/// TCP headers — [`optrep_net::TcpLink`]'s own byte counters see them).
+pub const TURN_STREAM: u64 = u64::MAX;
+
+/// Encodes a turn marker (`[]` = your turn, `[1]` = FIN: no more frames
+/// from this side, drain and close).
+fn marker_bytes(fin: bool) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(wire::MAX_VARINT_LEN + 2);
+    wire::put_frame(&mut buf, TURN_STREAM, if fin { &[1] } else { &[] });
+    buf
+}
+
+/// `true` if a [`TURN_STREAM`] marker is a FIN.
+fn marker_is_fin(frame: &wire::Frame) -> bool {
+    frame.payload.first() == Some(&1)
+}
+
+/// Decodes a received frame's payload as exactly one mux message.
+fn decode_frame_msg(frame: wire::Frame) -> Result<Framed<MuxMsg>> {
+    let mut payload = frame.payload;
+    let msg = MuxMsg::decode(&mut payload)?;
+    if !payload.is_empty() {
+        // A frame is exactly one message.
+        return Err(Error::from(WireError::UnexpectedEof));
+    }
+    Ok(Framed::new(frame.stream, msg))
+}
+
+/// Drives the pulling half of a batched contact over a real duplex link
+/// (e.g. [`optrep_net::TcpLink`]), with the far half served by
+/// [`serve_contact_link`].
+///
+/// The exchange runs the exact lockstep regime of [`run_contact`],
+/// half-duplex: the client flushes a whole burst and passes the turn
+/// with a [`TURN_STREAM`] marker; the server answers *one* frame and
+/// passes the turn back. When the client completes it sends a FIN
+/// marker and drains the server's remaining frames until the server's
+/// FIN. Because both endpoints are deterministic state machines, the
+/// accounted frame sequence — and therefore the whole
+/// [`ContactReport`] — is byte-identical to [`run_contact`] over the
+/// same endpoints; turn markers are link overhead and are not
+/// accounted.
+///
+/// The puller owns the contact's observability: it opens the
+/// [`obs`] contact scope and emits [`obs::SyncEvent::FrameTx`] for
+/// *both* directions (as the in-memory runner does), so a single
+/// daemon's trace satisfies `tables --check-jsonl` conservation. The
+/// serving side emits nothing (see [`serve_contact_link`]).
+///
+/// # Errors
+///
+/// Any transport error ([`Error::ConnectionLost`] on a cut,
+/// [`Error::Incomplete`] on a timeout), decode error, or protocol
+/// violation aborts the contact: the link is FIN'd so the peer
+/// unblocks, a [`obs::SyncEvent::SessionAborted`] is emitted for the
+/// contact, and the error is returned. Staged state is abandoned by
+/// the caller, leaving replica metadata untouched.
+pub fn run_contact_link<L: FrameLink>(
+    client: &mut BatchPullClient,
+    link: &mut L,
+) -> Result<ContactReport> {
+    let scope = obs::contact_scope(client.streams.len() as u64);
+    match drive_link(client, link, scope.id()) {
+        Ok(report) => {
+            scope.close(report.round_trips, report.totals());
+            Ok(report)
+        }
+        Err(e) => {
+            link.fin();
+            scope.abort(reason_label(&e));
+            Err(e)
+        }
+    }
+}
+
+/// The loop body of [`run_contact_link`], without the contact scope.
+fn drive_link<L: FrameLink>(
+    client: &mut BatchPullClient,
+    link: &mut L,
+    contact: u64,
+) -> Result<ContactReport> {
+    let mut report = ContactReport::default();
+    let mut payload_requested = false;
+    loop {
+        let mut progress = false;
+        while let Some(framed) = client.poll_send() {
+            report.account(&framed);
+            emit_frame_tx(contact, &framed, true);
+            match framed.msg {
+                MuxMsg::Ctrl(CtrlMsg::BatchHello { .. }) => report.round_trips += 1,
+                MuxMsg::Session(SessionMsg::PayloadRequest) => payload_requested = true,
+                _ => {}
+            }
+            link.send_bytes(&framed.to_bytes())?;
+            progress = true;
+        }
+        if client.is_done() {
+            // Nothing more to say: FIN, then drain the server's tail
+            // (completion is permanent — late frames for finished
+            // streams are tolerated, never answered).
+            link.send_bytes(&marker_bytes(true))?;
+            loop {
+                let frame = link.recv_frame()?;
+                if frame.stream == TURN_STREAM {
+                    if marker_is_fin(&frame) {
+                        break;
+                    }
+                    continue;
+                }
+                let framed = decode_frame_msg(frame)?;
+                report.account(&framed);
+                emit_frame_tx(contact, &framed, false);
+                client.on_receive(framed)?;
+            }
+            report.round_trips += u64::from(payload_requested);
+            link.fin();
+            return Ok(report);
+        }
+        link.send_bytes(&marker_bytes(false))?;
+        loop {
+            let frame = link.recv_frame()?;
+            if frame.stream == TURN_STREAM {
+                if marker_is_fin(&frame) {
+                    // The server is out of frames but we still expect
+                    // traffic: the exchange starved.
+                    return Err(Error::Incomplete {
+                        protocol: "tcp contact",
+                    });
+                }
+                break;
+            }
+            let framed = decode_frame_msg(frame)?;
+            report.account(&framed);
+            emit_frame_tx(contact, &framed, false);
+            client.on_receive(framed)?;
+            progress = true;
+        }
+        if !progress {
+            return Err(Error::Incomplete {
+                protocol: "tcp contact",
+            });
+        }
+    }
+}
+
+/// Serves the far half of a [`run_contact_link`] contact.
+///
+/// Mirrors [`run_contact`]'s server discipline: absorb the client's
+/// whole burst (everything up to the turn marker), answer exactly one
+/// frame, pass the turn back. On the client's FIN the server drains
+/// its entire outbox, confirms completion, and answers with its own
+/// FIN.
+///
+/// The serving side opens **no** obs contact scope and emits no frame
+/// events — the puller accounts both directions, exactly as the
+/// in-memory runner does, so per-contact byte conservation holds in
+/// the puller's trace. A serving daemon's own trace still carries the
+/// per-session element/skip events its `PullServer`s emit.
+///
+/// # Errors
+///
+/// Transport and decode errors as [`run_contact_link`];
+/// [`Error::Incomplete`] if the client FINs while streams are still
+/// open. On any error the link is FIN'd so the peer unblocks.
+pub fn serve_contact_link<L: FrameLink>(server: &mut BatchPullServer, link: &mut L) -> Result<()> {
+    serve_link(server, link).inspect_err(|_| link.fin())
+}
+
+/// The loop body of [`serve_contact_link`].
+fn serve_link<L: FrameLink>(server: &mut BatchPullServer, link: &mut L) -> Result<()> {
+    loop {
+        let fin = loop {
+            let frame = link.recv_frame()?;
+            if frame.stream == TURN_STREAM {
+                break marker_is_fin(&frame);
+            }
+            server.on_receive(decode_frame_msg(frame)?)?;
+        };
+        if fin {
+            while let Some(framed) = server.poll_send() {
+                link.send_bytes(&framed.to_bytes())?;
+            }
+            if !server.is_done() {
+                // The client walked away from open streams. Cut the
+                // connection instead of FIN-ing clean — the puller must
+                // see an aborted contact, not a completed one.
+                return Err(Error::Incomplete {
+                    protocol: "tcp contact",
+                });
+            }
+            link.send_bytes(&marker_bytes(true))?;
+            link.fin();
+            return Ok(());
+        }
+        if let Some(framed) = server.poll_send() {
+            link.send_bytes(&framed.to_bytes())?;
+        }
+        link.send_bytes(&marker_bytes(false))?;
+    }
+}
+
 /// Emits one [`obs::SyncEvent::FrameTx`] with the frame's classified bytes.
 fn emit_frame_tx(contact: u64, framed: &Framed<MuxMsg>, client: bool) {
     // Classification walks the frame; skip it entirely when no sink listens.
@@ -1780,5 +1984,144 @@ mod tests {
             }),
             "protocol_error"
         );
+    }
+
+    /// An in-memory duplex [`FrameLink`]: each half owns a sender to the
+    /// peer and a receiver for its own inbox, so the link drivers can be
+    /// exercised under real thread interleaving without sockets.
+    struct ChannelLink {
+        tx: Option<std::sync::mpsc::Sender<Vec<u8>>>,
+        rx: std::sync::mpsc::Receiver<Vec<u8>>,
+        decoder: FrameDecoder,
+    }
+
+    fn channel_pair() -> (ChannelLink, ChannelLink) {
+        let (atx, arx) = std::sync::mpsc::channel();
+        let (btx, brx) = std::sync::mpsc::channel();
+        let a = ChannelLink {
+            tx: Some(atx),
+            rx: brx,
+            decoder: FrameDecoder::new(),
+        };
+        let b = ChannelLink {
+            tx: Some(btx),
+            rx: arx,
+            decoder: FrameDecoder::new(),
+        };
+        (a, b)
+    }
+
+    impl FrameLink for ChannelLink {
+        fn send_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+            self.tx
+                .as_ref()
+                .and_then(|tx| tx.send(bytes.to_vec()).ok())
+                .ok_or(Error::ConnectionLost { after_bytes: 0 })
+        }
+
+        fn recv_frame(&mut self) -> Result<wire::Frame> {
+            loop {
+                if let Some(frame) = self.decoder.next_frame()? {
+                    return Ok(frame);
+                }
+                match self.rx.recv() {
+                    Ok(bytes) => self.decoder.push(&bytes),
+                    Err(_) => return Err(Error::ConnectionLost { after_bytes: 0 }),
+                }
+            }
+        }
+
+        fn fin(&mut self) {
+            self.tx = None;
+        }
+    }
+
+    #[test]
+    fn link_contact_matches_run_contact_byte_for_byte() {
+        let (mut c1, mut s1) = dirty_pair(5);
+        let reference = run_contact(&mut c1, &mut s1).unwrap();
+        let reference_results = c1.finish();
+
+        let (mut c2, mut s2) = dirty_pair(5);
+        let (mut client_link, mut server_link) = channel_pair();
+        let serve = std::thread::spawn(move || {
+            let r = serve_contact_link(&mut s2, &mut server_link);
+            (r, s2)
+        });
+        let report = run_contact_link(&mut c2, &mut client_link).unwrap();
+        let (served, _s2) = serve.join().expect("server thread");
+        served.unwrap();
+
+        assert_eq!(report, reference, "link transport must not change costs");
+        let results = c2.finish();
+        assert_eq!(results.len(), reference_results.len());
+        for (got, want) in results.iter().zip(&reference_results) {
+            assert_eq!(got.name, want.name);
+            let (got, want) = (
+                got.outcome.as_ref().unwrap(),
+                want.outcome.as_ref().unwrap(),
+            );
+            assert_eq!(got.relation, want.relation);
+            assert_eq!(got.payload, want.payload);
+            assert_eq!(
+                got.vector.to_version_vector(),
+                want.vector.to_version_vector()
+            );
+        }
+    }
+
+    #[test]
+    fn link_contact_identical_pair_is_compare_only() {
+        // All objects equal: the whole contact is one Hello/ServerFirst
+        // exchange over the link, with zero payload bytes.
+        let objects: Vec<(Bytes, Srv)> = (0..4).map(|i| (name(i), vec_with(&[1, 2]))).collect();
+        let (mut c1, mut s1) = (
+            BatchPullClient::new(objects.clone()),
+            BatchPullServer::new(
+                objects
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.clone(), Bytes::new())),
+            ),
+        );
+        let reference = run_contact(&mut c1, &mut s1).unwrap();
+
+        let mut c2 = BatchPullClient::new(objects.clone());
+        let mut s2 = BatchPullServer::new(
+            objects
+                .iter()
+                .map(|(n, v)| (n.clone(), v.clone(), Bytes::new())),
+        );
+        let (mut client_link, mut server_link) = channel_pair();
+        let serve = std::thread::spawn(move || serve_contact_link(&mut s2, &mut server_link));
+        let report = run_contact_link(&mut c2, &mut client_link).unwrap();
+        serve.join().expect("server thread").unwrap();
+        assert_eq!(report, reference);
+        assert_eq!(report.payload_bytes, 0);
+        assert_eq!(report.round_trips, 1);
+    }
+
+    #[test]
+    fn link_contact_peer_death_aborts_cleanly() {
+        // The server vanishes after the handshake; the client must get a
+        // connection error, not hang or report success.
+        let (mut c2, mut s2) = dirty_pair(3);
+        let (mut client_link, mut server_link) = channel_pair();
+        let serve = std::thread::spawn(move || {
+            // Absorb the first burst, answer nothing, die.
+            loop {
+                match server_link.recv_frame() {
+                    Ok(frame) if frame.stream == TURN_STREAM => break,
+                    Ok(frame) => {
+                        let framed = decode_frame_msg(frame).unwrap();
+                        s2.on_receive(framed).unwrap();
+                    }
+                    Err(_) => break,
+                }
+            }
+            drop(server_link);
+        });
+        let err = run_contact_link(&mut c2, &mut client_link).unwrap_err();
+        serve.join().expect("server thread");
+        assert!(matches!(err, Error::ConnectionLost { .. }), "{err:?}");
     }
 }

@@ -7,14 +7,19 @@
 //! converge. A seeded 16-site cluster must converge under 10% frame
 //! loss with zero panics, under the invariant-checking sink.
 
-use optrep_core::{SiteId, Srv};
-use optrep_net::{FaultPlan, FaultyLink};
+use bytes::BytesMut;
+use optrep_core::{wire, Error, Result, SiteId, Srv};
+use optrep_net::{ConnectOptions, FaultPlan, FaultyLink, TcpLink};
 use optrep_replication::{
-    Cluster, ContactOptions, ObjectId, RetryPolicy, TokenSet, UnionReconciler,
+    run_contact_link, BatchPullClient, Cluster, ContactOptions, ContactReport, ObjectId,
+    RetryPolicy, TokenSet, UnionReconciler,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
 
 const OBJ: ObjectId = ObjectId::new(0);
 
@@ -216,4 +221,120 @@ fn sixteen_sites_converge_under_ten_percent_frame_loss() {
         converged,
         "16 sites must converge under 10% loss within 300 rounds"
     );
+}
+
+// ---------------------------------------------------------------------
+// TcpLink failure modes.
+//
+// The same recovery contract the fault-injection layer proves above,
+// but over real sockets: a refused dial, a peer dying mid-frame, and a
+// stalled peer tripping the read deadline must each abort the contact
+// with site metadata byte-identical to its pre-contact state, and a
+// clean follow-up sync must still converge the pair.
+
+/// Snapshots `dst`'s pull endpoint (exactly as a contact would) and
+/// drives one real-socket contact against whatever listens at `addr`.
+/// On an abort the endpoint's staged state is abandoned, so a returned
+/// error must leave the cluster byte-identical — which the callers
+/// assert via [`Cluster::site_digest`].
+fn tcp_pull(
+    cluster: &Cluster<Srv, TokenSet, UnionReconciler>,
+    dst: SiteId,
+    addr: SocketAddr,
+) -> Result<ContactReport> {
+    let site = cluster.site(dst);
+    let mut client = BatchPullClient::new(site.objects().into_iter().map(|object| {
+        let mut name = BytesMut::new();
+        wire::put_varint(&mut name, object.index());
+        let meta = site
+            .replica(object)
+            .expect("listed object exists")
+            .meta
+            .clone();
+        (name.freeze(), meta)
+    }));
+    // One attempt and short deadlines: these tests *want* the failure.
+    let opts = ConnectOptions::new()
+        .attempts(1)
+        .backoff(Duration::from_millis(1), Duration::from_millis(2))
+        .timeouts(
+            Some(Duration::from_millis(200)),
+            Some(Duration::from_millis(200)),
+        );
+    let mut link = TcpLink::connect(addr, &opts)?;
+    run_contact_link(&mut client, &mut link)
+}
+
+fn digests(cluster: &Cluster<Srv, TokenSet, UnionReconciler>) -> (Vec<u8>, Vec<u8>) {
+    (
+        cluster.site_digest(SiteId::new(0)),
+        cluster.site_digest(SiteId::new(1)),
+    )
+}
+
+#[test]
+fn tcp_connect_refused_leaves_metadata_byte_identical() {
+    let tokens = vec!["t1".to_string(), "t2".to_string()];
+    let mut cluster = dirty_pair(&tokens, true);
+    let before = digests(&cluster);
+    // Bind then immediately drop: the kernel refuses the dial.
+    let dead = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        listener.local_addr().expect("bound address")
+    };
+    let err = tcp_pull(&cluster, SiteId::new(0), dead).expect_err("dial must fail");
+    assert!(matches!(err, Error::ConnectionLost { .. }), "{err:?}");
+    assert_eq!(digests(&cluster), before, "refused dial mutated a site");
+    settle_pair(&mut cluster);
+    assert!(cluster.is_consistent_all());
+}
+
+#[test]
+fn tcp_peer_death_mid_frame_leaves_metadata_byte_identical() {
+    let tokens = vec!["t1".to_string()];
+    let mut cluster = dirty_pair(&tokens, true);
+    let before = digests(&cluster);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound address");
+    let killer = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 4096];
+        let _ = stream.read(&mut buf);
+        // A frame header promising more payload than will ever arrive,
+        // then a hangup mid-frame.
+        let _ = stream.write_all(&[3, 200, 1, 2, 3]);
+        drop(stream);
+    });
+    let err = tcp_pull(&cluster, SiteId::new(0), addr).expect_err("mid-frame death must abort");
+    assert!(
+        matches!(err, Error::ConnectionLost { .. } | Error::Incomplete { .. }),
+        "{err:?}"
+    );
+    killer.join().expect("killer thread");
+    assert_eq!(digests(&cluster), before, "mid-frame death mutated a site");
+    settle_pair(&mut cluster);
+    assert!(cluster.is_consistent_all());
+}
+
+#[test]
+fn tcp_read_timeout_aborts_without_mutation() {
+    let tokens = vec!["t1".to_string()];
+    let mut cluster = dirty_pair(&tokens, false);
+    let before = digests(&cluster);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("bound address");
+    let stall = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Swallow the client's burst and answer nothing: the read
+        // deadline must fire. The loop drains until the aborting client
+        // FINs, so the thread always exits.
+        let mut buf = [0u8; 4096];
+        while stream.read(&mut buf).map(|n| n > 0).unwrap_or(false) {}
+    });
+    let err = tcp_pull(&cluster, SiteId::new(0), addr).expect_err("stalled peer must time out");
+    assert!(matches!(err, Error::Incomplete { .. }), "{err:?}");
+    stall.join().expect("stall thread");
+    assert_eq!(digests(&cluster), before, "timeout abort mutated a site");
+    settle_pair(&mut cluster);
+    assert!(cluster.is_consistent_all());
 }

@@ -1,0 +1,81 @@
+//! The `optrep` client: one verb against one daemon, then exit.
+//!
+//! ```text
+//! optrep <daemon-addr> get <key>
+//! optrep <daemon-addr> put <key> <value>
+//! optrep <daemon-addr> delete <key>
+//! optrep <daemon-addr> status
+//! optrep <daemon-addr> digest
+//! optrep <daemon-addr> sync <peer-addr>
+//! ```
+//!
+//! `sync` asks the daemon at `<daemon-addr>` to pull from
+//! `<peer-addr>` and prints the pull report. `digest` prints the
+//! site-independent replica digest as hex — equal digests across
+//! daemons mean converged replicas. Exit status is 0 on success, 1 on
+//! a failed verb, 2 on usage errors.
+
+use optrep_net::ConnectOptions;
+use optrep_server::Client;
+use std::net::SocketAddr;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: optrep <addr> <verb> [...]\n\
+         verbs: get <key> | put <key> <value> | delete <key> | \
+         status | digest | sync <peer>"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, verb, rest) = match args.as_slice() {
+        [addr, verb, rest @ ..] => (addr, verb.as_str(), rest),
+        _ => usage(),
+    };
+    let addr: SocketAddr = addr.parse().unwrap_or_else(|_| {
+        eprintln!("optrep: bad daemon address: {addr}");
+        std::process::exit(2)
+    });
+    let mut client = match Client::connect(addr, &ConnectOptions::default()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("optrep: cannot reach {addr}: {e}");
+            std::process::exit(1)
+        }
+    };
+    let outcome = match (verb, rest) {
+        ("get", [key]) => client.get(key).map(|value| match value {
+            Some(v) => match std::str::from_utf8(&v) {
+                Ok(text) => println!("{text}"),
+                Err(_) => println!("{v:?}"),
+            },
+            None => println!("(nil)"),
+        }),
+        ("put", [key, value]) => client.put(key, value.clone().into_bytes()),
+        ("delete", [key]) => client.delete(key),
+        ("status", []) => client.status().map(|(site, keys, tracked, generation)| {
+            println!("site {site} keys {keys} tracked {tracked} generation {generation}");
+        }),
+        ("digest", []) => client.digest().map(|digest| println!("{digest:016x}")),
+        ("sync", [peer]) => client.sync(peer).map(|report| {
+            println!(
+                "examined {} created {} fast-forwarded {} reconciled {} \
+                 unchanged {} meta-bytes {} value-bytes {}",
+                report.keys_examined,
+                report.keys_created,
+                report.keys_fast_forwarded,
+                report.keys_reconciled,
+                report.keys_unchanged,
+                report.meta_bytes,
+                report.value_bytes,
+            );
+        }),
+        _ => usage(),
+    };
+    if let Err(e) = outcome {
+        eprintln!("optrep: {verb} failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,147 @@
+//! The `optrepd` daemon: one replica site served over TCP.
+//!
+//! ```text
+//! optrepd --site <id> --listen <addr> [--peer <addr>]... [--gossip-ms <n>]
+//! ```
+//!
+//! * `--site` — this replica's site id: a numeric index, a letter
+//!   (`A` = 0), or the `S<n>` form.
+//! * `--listen` — bind address, e.g. `127.0.0.1:7701` (port 0 picks an
+//!   ephemeral port; the bound address is printed on startup).
+//! * `--peer` — a peer daemon to pull from periodically; repeatable.
+//! * `--gossip-ms` — gossip period in milliseconds (default 500 when
+//!   peers are given, off otherwise).
+//!
+//! With the `obs` feature, `OPTREP_OBS_JSONL=<path>` streams every sync
+//! event the daemon's contacts emit to `<path>`; validate it with
+//! `tables --check-jsonl <path>`.
+//!
+//! The daemon prints one `listening on <addr>` line once reachable and
+//! runs until killed.
+
+use optrep_core::SiteId;
+use optrep_replication::RetryPolicy;
+use optrep_server::{Node, NodeConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: optrepd --site <id> --listen <addr> [--peer <addr>]... [--gossip-ms <n>]");
+    std::process::exit(2)
+}
+
+fn parse_site(s: &str) -> SiteId {
+    SiteId::parse(s)
+        .or_else(|| s.parse::<u32>().ok().map(SiteId::new))
+        .unwrap_or_else(|| {
+            eprintln!("optrepd: bad site id: {s}");
+            std::process::exit(2)
+        })
+}
+
+fn parse_addr(s: &str) -> SocketAddr {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("optrepd: bad address: {s}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut site: Option<SiteId> = None;
+    let mut listen: Option<SocketAddr> = None;
+    let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut gossip_ms: Option<u64> = None;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("optrepd: {flag} needs a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--site" => site = Some(parse_site(&value("--site"))),
+            "--listen" => listen = Some(parse_addr(&value("--listen"))),
+            "--peer" => peers.push(parse_addr(&value("--peer"))),
+            "--gossip-ms" => {
+                let raw = value("--gossip-ms");
+                match raw.parse::<u64>() {
+                    Ok(ms) => gossip_ms = Some(ms),
+                    Err(_) => {
+                        eprintln!("optrepd: bad gossip period: {raw}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("optrepd: unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    let (Some(site), Some(listen)) = (site, listen) else {
+        usage()
+    };
+    let gossip = match (gossip_ms, peers.is_empty()) {
+        (Some(ms), _) => Some(Duration::from_millis(ms.max(1))),
+        (None, false) => Some(Duration::from_millis(500)),
+        (None, true) => None,
+    };
+    let mut config = NodeConfig::new(site, listen)
+        .with_peers(peers)
+        .with_retry(RetryPolicy::default());
+    if let Some(interval) = gossip {
+        config = config.with_gossip(interval);
+    }
+    run_traced(config);
+}
+
+/// Starts the node, wrapped in a `JsonlSink` when `OPTREP_OBS_JSONL`
+/// is set and the `obs` feature is on. The sink is installed *before*
+/// [`Node::start`] so the node's threads inherit it.
+fn run_traced(config: NodeConfig) {
+    let serve = move || {
+        let node = match Node::start(config) {
+            Ok(node) => node,
+            Err(e) => {
+                eprintln!("optrepd: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("optrepd site {} listening on {}", node.site(), node.addr());
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        node.wait();
+    };
+    match std::env::var("OPTREP_OBS_JSONL") {
+        Ok(path) if !path.is_empty() => {
+            #[cfg(feature = "obs")]
+            {
+                use optrep_core::obs;
+                // Line-buffered, not block-buffered: daemons die by
+                // signal, so every event must reach the file as it is
+                // emitted or the trace ends mid-buffer.
+                let sink = match std::fs::File::create(&path) {
+                    Ok(file) => std::sync::Arc::new(obs::JsonlSink::new(Box::new(
+                        std::io::LineWriter::new(file),
+                    ))),
+                    Err(e) => {
+                        eprintln!("optrepd: cannot create {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                obs::with(sink, serve);
+            }
+            #[cfg(not(feature = "obs"))]
+            {
+                eprintln!(
+                    "optrepd: OPTREP_OBS_JSONL is set but the `obs` feature is \
+                     disabled; no trace will be written"
+                );
+                serve();
+            }
+        }
+        _ => serve(),
+    }
+}

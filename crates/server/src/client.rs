@@ -1,0 +1,148 @@
+//! The `optrep` client: a verb session over one TCP connection.
+
+use crate::proto::{Request, Response};
+use bytes::Bytes;
+use optrep_core::wire::{Handshake, Intent};
+use optrep_core::{Error, Result};
+use optrep_kv::KvSyncReport;
+use optrep_net::{ConnectOptions, TcpLink};
+use optrep_replication::CONTROL_STREAM;
+use std::net::SocketAddr;
+
+/// A connected verb session against one `optrepd` daemon.
+///
+/// Each call sends one [`Request`] frame and blocks for its
+/// [`Response`] frame. The connection identifies itself as an
+/// anonymous client (site `u32::MAX`) in the opening handshake.
+pub struct Client {
+    link: TcpLink,
+}
+
+impl Client {
+    /// Dials `addr` and performs the verb handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ConnectionLost`] when every dial attempt fails,
+    /// transport errors if the handshake cannot be written.
+    pub fn connect(addr: SocketAddr, opts: &ConnectOptions) -> Result<Client> {
+        let mut link = TcpLink::connect(addr, opts)?;
+        link.send_frame(
+            CONTROL_STREAM,
+            &Handshake::new(u32::MAX, Intent::Verbs).encode(),
+        )?;
+        Ok(Client { link })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`Error::Wire`] if the daemon's answer does
+    /// not decode.
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        self.link.send_frame(CONTROL_STREAM, &request.encode())?;
+        let frame = self.link.recv_frame()?;
+        let mut payload = frame.payload;
+        Response::decode(&mut payload).map_err(Error::from)
+    }
+
+    /// Converts an unexpected response shape into a protocol error.
+    fn unexpected(verb: &'static str, response: Response) -> Error {
+        Error::UnexpectedMessage {
+            protocol: verb,
+            message: format!("{response:?}"),
+        }
+    }
+
+    /// Reads `key`; `None` for absent or tombstoned keys.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the daemon's own refusal
+    /// ([`Error::UnexpectedMessage`] carrying the message).
+    pub fn get(&mut self, key: &str) -> Result<Option<Bytes>> {
+        match self.request(&Request::Get {
+            key: key.to_string(),
+        })? {
+            Response::Value(value) => Ok(value),
+            other => Err(Self::unexpected("get", other)),
+        }
+    }
+
+    /// Writes `key`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::get`].
+    pub fn put(&mut self, key: &str, value: impl Into<Bytes>) -> Result<()> {
+        let request = Request::Put {
+            key: key.to_string(),
+            value: value.into(),
+        };
+        match self.request(&request)? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected("put", other)),
+        }
+    }
+
+    /// Deletes `key` (a replicated tombstone, not a local forget).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::get`].
+    pub fn delete(&mut self, key: &str) -> Result<()> {
+        match self.request(&Request::Delete {
+            key: key.to_string(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(Self::unexpected("delete", other)),
+        }
+    }
+
+    /// The daemon's vital signs: `(site, live keys, tracked entries,
+    /// write generation)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::get`].
+    pub fn status(&mut self) -> Result<(u32, u64, u64, u64)> {
+        match self.request(&Request::Status)? {
+            Response::Status {
+                site,
+                keys,
+                tracked,
+                generation,
+            } => Ok((site, keys, tracked, generation)),
+            other => Err(Self::unexpected("status", other)),
+        }
+    }
+
+    /// The daemon's site-independent replica digest.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::get`].
+    pub fn digest(&mut self) -> Result<u64> {
+        match self.request(&Request::Digest)? {
+            Response::Digest(digest) => Ok(digest),
+            other => Err(Self::unexpected("digest", other)),
+        }
+    }
+
+    /// Asks the daemon to pull from `peer` now.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`Error::UnexpectedMessage`] carrying the
+    /// daemon's failure reason (unreachable peer, raced writes, …).
+    pub fn sync(&mut self, peer: &str) -> Result<KvSyncReport> {
+        let request = Request::Sync {
+            peer: peer.to_string(),
+        };
+        match self.request(&request)? {
+            Response::Synced(report) => Ok(report),
+            other => Err(Self::unexpected("sync", other)),
+        }
+    }
+}

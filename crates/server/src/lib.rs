@@ -1,0 +1,29 @@
+//! `optrepd`: rotating-vector anti-entropy served over real sockets.
+//!
+//! Everything below the daemon is the existing stack, unchanged: the
+//! sans-io protocol endpoints from `optrep-core`, the batched mux
+//! contact from `optrep-replication`, and the framed TCP transport from
+//! `optrep-net`. This crate adds the deployment shape the paper's
+//! communication-optimality argument assumes — long-lived replica
+//! daemons exchanging metadata over real connections:
+//!
+//! * [`Node`] — the daemon: a multi-threaded accept loop on a
+//!   `TcpListener` that dispatches each connection by its
+//!   [`Handshake`](optrep_core::wire::Handshake) intent, a
+//!   generation-checked pull path committing contacts transactionally
+//!   against the shared [`KvStore`](optrep_kv::KvStore), and an
+//!   optional periodic gossip thread.
+//! * [`Client`] — the `optrep` CLI's verb session:
+//!   `get`/`put`/`delete`/`status`/`digest`/`sync <peer>` as one
+//!   request/response frame pair each ([`proto`]).
+//!
+//! Binaries: `optrepd` (the daemon) and `optrep` (the client). A
+//! three-node localhost cluster is a README quickstart away; the
+//! `cluster` integration tests drive the same topology in-process.
+
+pub mod client;
+pub mod node;
+pub mod proto;
+
+pub use client::Client;
+pub use node::{Node, NodeConfig};

@@ -1,0 +1,447 @@
+//! The `optrepd` node: accept loop, verb service, pull service, gossip.
+//!
+//! A [`Node`] owns one [`KvStore`] behind a mutex and serves it over
+//! real sockets. Every connection opens with a
+//! [`Handshake`](wire::Handshake) frame; its
+//! [`Intent`](wire::Intent) selects the service:
+//!
+//! * **Verbs** — a request/response loop speaking [`proto`](crate::proto)
+//!   on the control stream (`get`/`put`/`delete`/`status`/`digest`/`sync`).
+//! * **Pull** — the connector drives a batched anti-entropy contact as
+//!   the pulling side; this node snapshots a
+//!   [`server_endpoint`](KvStore::server_endpoint) and serves it through
+//!   [`serve_contact_link`], never holding the store lock during network
+//!   I/O.
+//!
+//! Outbound pulls ([`Node::sync_with`], and the periodic gossip thread)
+//! run the generation-checked discipline `KvStore::generation` was built
+//! for: snapshot the client endpoint under the lock, release it for the
+//! whole network exchange, re-lock and commit only if no local write
+//! raced the pull — otherwise retry against fresh metadata. A connection
+//! that dies mid-contact therefore aborts before anything is staged,
+//! leaving the store byte-identical.
+
+use crate::proto::{Request, Response};
+use optrep_core::obs::{self, Sink};
+use optrep_core::wire::{Handshake, Intent};
+use optrep_core::{Error, Result, SiteId};
+use optrep_kv::{JoinResolver, KvStore, KvSyncReport};
+use optrep_net::{ConnectOptions, TcpLink};
+use optrep_replication::{run_contact_link, serve_contact_link, RetryPolicy, CONTROL_STREAM};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How often the accept loop polls for shutdown between connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How many times an outbound pull retries after racing a local write
+/// (the exchange itself succeeded; only the commit was stale).
+const APPLY_RACE_RETRIES: u32 = 3;
+
+/// Configuration for one [`Node`].
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This replica's site id.
+    pub site: SiteId,
+    /// Listen address; port 0 picks an ephemeral port (see
+    /// [`Node::addr`]).
+    pub listen: SocketAddr,
+    /// Peers the gossip thread pulls from, round-robin.
+    pub peers: Vec<SocketAddr>,
+    /// Gossip period; `None` disables the gossip thread (pulls then
+    /// happen only via `optrep sync` / [`Node::sync_with`]).
+    pub gossip_interval: Option<Duration>,
+    /// Retry budget for outbound pulls (attempts per peer per gossip
+    /// tick; the same policy shape the in-process engine uses).
+    pub retry: RetryPolicy,
+    /// Socket dial/deadline policy for every connection this node opens
+    /// or accepts.
+    pub connect: ConnectOptions,
+}
+
+impl NodeConfig {
+    /// A node for `site` listening on `listen`, no peers, no gossip,
+    /// default retry and socket policies.
+    pub fn new(site: SiteId, listen: SocketAddr) -> Self {
+        NodeConfig {
+            site,
+            listen,
+            peers: Vec::new(),
+            gossip_interval: None,
+            retry: RetryPolicy::default(),
+            connect: ConnectOptions::default(),
+        }
+    }
+
+    /// Adds gossip peers.
+    #[must_use]
+    pub fn with_peers(mut self, peers: impl IntoIterator<Item = SocketAddr>) -> Self {
+        self.peers.extend(peers);
+        self
+    }
+
+    /// Enables the periodic gossip thread.
+    #[must_use]
+    pub fn with_gossip(mut self, interval: Duration) -> Self {
+        self.gossip_interval = Some(interval);
+        self
+    }
+
+    /// Sets the outbound pull retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the socket dial/deadline policy.
+    #[must_use]
+    pub fn with_connect(mut self, connect: ConnectOptions) -> Self {
+        self.connect = connect;
+        self
+    }
+}
+
+/// State shared between the accept loop, connection handlers, the
+/// gossip thread, and the owning [`Node`] handle.
+struct Shared {
+    site: SiteId,
+    store: Mutex<KvStore>,
+    resolver: JoinResolver,
+    peers: Vec<SocketAddr>,
+    retry: RetryPolicy,
+    connect: ConnectOptions,
+    shutdown: AtomicBool,
+    /// Obs sinks captured at [`Node::start`]; re-installed on every
+    /// spawned thread (shared `Arc`s, as the engine's wave workers do)
+    /// so socket-driven contacts trace into the starter's aggregators.
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl Shared {
+    /// Locks the store, recovering from a poisoned lock: the store's
+    /// transactional apply discipline never leaves it half-written, so
+    /// a handler that panicked elsewhere must not wedge the daemon.
+    fn store(&self) -> MutexGuard<'_, KvStore> {
+        match self.store.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running `optrepd` node.
+///
+/// Dropping the handle does **not** stop the daemon; call
+/// [`Node::stop`] (or let the process exit).
+pub struct Node {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    gossip: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Node {
+    /// Binds the listener and starts the accept loop (and the gossip
+    /// thread, if configured). Returns once the node is reachable.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnexpectedMessage`] if the listen address cannot be
+    /// bound — an environment problem, not link weather.
+    pub fn start(config: NodeConfig) -> Result<Node> {
+        let listener = TcpListener::bind(config.listen).map_err(|e| Error::UnexpectedMessage {
+            protocol: "daemon",
+            message: format!("cannot bind {}: {e}", config.listen),
+        })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::UnexpectedMessage {
+                protocol: "daemon",
+                message: format!("listener has no address: {e}"),
+            })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::UnexpectedMessage {
+                protocol: "daemon",
+                message: format!("cannot poll listener: {e}"),
+            })?;
+        let shared = Arc::new(Shared {
+            site: config.site,
+            store: Mutex::new(KvStore::new(config.site)),
+            resolver: JoinResolver,
+            peers: config.peers,
+            retry: config.retry,
+            connect: config.connect,
+            shutdown: AtomicBool::new(false),
+            sinks: obs::installed(),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        let gossip = config.gossip_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || gossip_loop(&shared, interval))
+        });
+        Ok(Node {
+            shared,
+            addr,
+            accept: Some(accept),
+            gossip,
+        })
+    }
+
+    /// The bound listen address (the actual port when configured with 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This node's site id.
+    pub fn site(&self) -> SiteId {
+        self.shared.site
+    }
+
+    /// Runs `f` with the store locked — the in-process equivalent of a
+    /// verb session, for embedding and tests.
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut KvStore) -> R) -> R {
+        f(&mut self.shared.store())
+    }
+
+    /// The site-independent replica digest (`optrep digest`).
+    pub fn digest(&self) -> u64 {
+        self.shared.store().replica_digest()
+    }
+
+    /// Pulls from `peer` right now, exactly as the `sync` verb does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dial, transport, and protocol errors; the store is
+    /// untouched unless the pull committed.
+    pub fn sync_with(&self, peer: SocketAddr) -> Result<KvSyncReport> {
+        pull_from(&self.shared, peer)
+    }
+
+    /// Blocks until the node is stopped.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
+        }
+    }
+
+    /// Stops the accept and gossip threads and waits for them.
+    ///
+    /// In-flight connection handlers are not joined: they observe the
+    /// shutdown flag at their next read deadline and exit on their own.
+    pub fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
+        }
+    }
+}
+
+/// Accepts connections until shutdown, one handler thread each.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    obs::with_all(shared.sinks.clone(), || handle_connection(&shared, stream));
+                });
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Transient accept errors (aborted handshake, fd pressure):
+            // keep serving; a broken listener shows up as a spin here,
+            // not a crash.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reads the handshake and dispatches one connection. All errors are
+/// terminal for the connection only: the peer sees a FIN or reset and
+/// takes its own abort path.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(mut link) = TcpLink::from_stream(stream, &shared.connect) else {
+        return;
+    };
+    let Ok(frame) = link.recv_frame() else {
+        return;
+    };
+    if frame.stream != CONTROL_STREAM {
+        return;
+    }
+    let mut payload = frame.payload;
+    let Ok(handshake) = Handshake::decode(&mut payload) else {
+        return;
+    };
+    match handshake.intent {
+        Intent::Pull => serve_pull(shared, &mut link),
+        Intent::Verbs => serve_verbs(shared, &mut link),
+    }
+}
+
+/// Serves one anti-entropy pull: snapshot the serving endpoint under
+/// the lock, then run the whole exchange without it. A pull never
+/// modifies the serving store, so concurrent local writes simply miss
+/// this contact and ride the next one.
+fn serve_pull(shared: &Shared, link: &mut TcpLink) {
+    let mut server = shared.store().server_endpoint();
+    let _ = serve_contact_link(&mut server, link);
+}
+
+/// Serves one verb session: one request frame in, one response frame
+/// out, until the client disconnects.
+fn serve_verbs(shared: &Shared, link: &mut TcpLink) {
+    loop {
+        let frame = match link.recv_frame() {
+            Ok(frame) => frame,
+            // A read deadline on an idle session is not an error; it is
+            // the shutdown poll.
+            Err(Error::Incomplete { .. }) if !shared.stopping() => continue,
+            Err(_) => return,
+        };
+        let mut payload = frame.payload;
+        let response = match Request::decode(&mut payload) {
+            Ok(request) => handle_request(shared, request),
+            Err(e) => Response::Err(format!("bad request: {e}")),
+        };
+        if link.send_frame(frame.stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Executes one client verb against the shared store.
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Get { key } => {
+            let store = shared.store();
+            Response::Value(store.get(&key).map(bytes::Bytes::copy_from_slice))
+        }
+        Request::Put { key, value } => {
+            shared.store().put(key, value);
+            Response::Ok
+        }
+        Request::Delete { key } => {
+            shared.store().delete(key);
+            Response::Ok
+        }
+        Request::Status => {
+            let store = shared.store();
+            Response::Status {
+                site: shared.site.index(),
+                keys: store.len() as u64,
+                tracked: store.tracked_entries() as u64,
+                generation: store.generation(),
+            }
+        }
+        Request::Digest => Response::Digest(shared.store().replica_digest()),
+        Request::Sync { peer } => match peer.parse::<SocketAddr>() {
+            Ok(addr) => match pull_from(shared, addr) {
+                Ok(report) => Response::Synced(report),
+                Err(e) => Response::Err(format!("sync failed: {e}")),
+            },
+            Err(_) => Response::Err(format!("bad peer address: {peer}")),
+        },
+    }
+}
+
+/// One generation-checked pull from `peer`.
+///
+/// The client endpoint is a snapshot of this store's metadata; the
+/// whole network exchange runs without the store lock. Before
+/// committing, the store's write generation is compared with the
+/// snapshot's: if a local write (or another pull) landed in between,
+/// the staged outcomes describe a store that no longer exists, so the
+/// pull is retried against fresh metadata instead of committed —
+/// bounded by [`APPLY_RACE_RETRIES`].
+fn pull_from(shared: &Shared, peer: SocketAddr) -> Result<KvSyncReport> {
+    for _ in 0..APPLY_RACE_RETRIES {
+        let (generation, mut client) = {
+            let store = shared.store();
+            (store.generation(), store.client_endpoint())
+        };
+        let mut link = TcpLink::connect(peer, &shared.connect)?;
+        link.send_frame(
+            CONTROL_STREAM,
+            &Handshake::new(shared.site.index(), Intent::Pull).encode(),
+        )?;
+        let report = run_contact_link(&mut client, &mut link)?;
+        let mut store = shared.store();
+        if store.generation() != generation {
+            continue;
+        }
+        return store.apply_contact(&shared.resolver, client, &report);
+    }
+    // Local writes outran every attempt; the next gossip tick will
+    // carry them anyway.
+    Err(Error::Incomplete {
+        protocol: "daemon pull",
+    })
+}
+
+/// Pulls from each configured peer in turn, one pass per `interval`,
+/// retrying per [`RetryPolicy`] with capped exponential backoff (the
+/// policy's round counts scaled to the socket backoff schedule).
+fn gossip_loop(shared: &Arc<Shared>, interval: Duration) {
+    while !shared.stopping() {
+        sleep_watching(shared, interval);
+        if shared.stopping() {
+            return;
+        }
+        for &peer in &shared.peers {
+            let attempts = shared.retry.max_attempts.max(1);
+            for attempt in 0..attempts {
+                if shared.stopping() {
+                    return;
+                }
+                if attempt > 0 {
+                    let factor = 1u32 << (attempt - 1).min(16);
+                    std::thread::sleep(
+                        shared
+                            .connect
+                            .backoff_base
+                            .saturating_mul(factor)
+                            .min(shared.connect.backoff_cap),
+                    );
+                }
+                if pull_from(shared, peer).is_ok() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Sleeps `total` in slices, returning early on shutdown.
+fn sleep_watching(shared: &Shared, total: Duration) {
+    let slice = total.min(ACCEPT_POLL.max(Duration::from_millis(1)));
+    let mut slept = Duration::ZERO;
+    while slept < total && !shared.stopping() {
+        let step = slice.min(total - slept);
+        std::thread::sleep(step);
+        slept += step;
+    }
+}

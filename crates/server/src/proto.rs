@@ -1,0 +1,345 @@
+//! The `optrep` client-verb protocol.
+//!
+//! After a [`Handshake`](optrep_core::wire::Handshake) with
+//! [`Intent::Verbs`](optrep_core::wire::Intent), a connection carries a
+//! simple request/response exchange on the control stream: each
+//! [`Request`] travels as one frame payload and is answered by exactly
+//! one [`Response`] frame. Encoding follows the repo's wire conventions
+//! (one-byte tags, LEB128 varints, length-prefixed byte strings), so the
+//! verb traffic is as measurable as the anti-entropy traffic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use optrep_core::error::WireError;
+use optrep_core::wire;
+use optrep_kv::KvSyncReport;
+
+/// One client verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read a key.
+    Get {
+        /// Key to read.
+        key: String,
+    },
+    /// Write a key.
+    Put {
+        /// Key to write.
+        key: String,
+        /// New value bytes.
+        value: Bytes,
+    },
+    /// Delete a key (writes a tombstone).
+    Delete {
+        /// Key to delete.
+        key: String,
+    },
+    /// Ask the daemon for its vital signs.
+    Status,
+    /// Ask for the site-independent replica digest.
+    Digest,
+    /// Ask the daemon to pull from `peer` (`host:port`) right now.
+    Sync {
+        /// Peer address to pull from.
+        peer: String,
+    },
+}
+
+/// The daemon's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `Get` result; `None` for absent or tombstoned keys.
+    Value(Option<Bytes>),
+    /// `Put`/`Delete` acknowledged.
+    Ok,
+    /// `Status` result.
+    Status {
+        /// The daemon's site id.
+        site: u32,
+        /// Live (non-tombstoned) keys.
+        keys: u64,
+        /// Tracked entries including tombstones.
+        tracked: u64,
+        /// The store's write generation.
+        generation: u64,
+    },
+    /// `Digest` result ([`optrep_kv::KvStore::replica_digest`]).
+    Digest(u64),
+    /// `Sync` completed with this pull report.
+    Synced(KvSyncReport),
+    /// The verb failed; human-readable reason.
+    Err(String),
+}
+
+const REQ_GET: u8 = 1;
+const REQ_PUT: u8 = 2;
+const REQ_DELETE: u8 = 3;
+const REQ_STATUS: u8 = 4;
+const REQ_DIGEST: u8 = 5;
+const REQ_SYNC: u8 = 6;
+
+const RESP_VALUE: u8 = 1;
+const RESP_OK: u8 = 2;
+const RESP_STATUS: u8 = 3;
+const RESP_DIGEST: u8 = 4;
+const RESP_SYNCED: u8 = 5;
+const RESP_ERR: u8 = 6;
+
+fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
+    let bytes = wire::get_bytes(buf)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidPayload)
+}
+
+impl Request {
+    /// Encodes the request as one frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Get { key } => {
+                buf.put_u8(REQ_GET);
+                wire::put_bytes(&mut buf, key.as_bytes());
+            }
+            Request::Put { key, value } => {
+                buf.put_u8(REQ_PUT);
+                wire::put_bytes(&mut buf, key.as_bytes());
+                wire::put_bytes(&mut buf, value);
+            }
+            Request::Delete { key } => {
+                buf.put_u8(REQ_DELETE);
+                wire::put_bytes(&mut buf, key.as_bytes());
+            }
+            Request::Status => buf.put_u8(REQ_STATUS),
+            Request::Digest => buf.put_u8(REQ_DIGEST),
+            Request::Sync { peer } => {
+                buf.put_u8(REQ_SYNC);
+                wire::put_bytes(&mut buf, peer.as_bytes());
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes one request from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnknownTag`] on an unrecognized verb,
+    /// [`WireError::UnexpectedEof`]/[`WireError::InvalidPayload`] on
+    /// truncated or malformed fields.
+    pub fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let req = match buf.get_u8() {
+            REQ_GET => Request::Get {
+                key: get_string(buf)?,
+            },
+            REQ_PUT => Request::Put {
+                key: get_string(buf)?,
+                value: wire::get_bytes(buf)?,
+            },
+            REQ_DELETE => Request::Delete {
+                key: get_string(buf)?,
+            },
+            REQ_STATUS => Request::Status,
+            REQ_DIGEST => Request::Digest,
+            REQ_SYNC => Request::Sync {
+                peer: get_string(buf)?,
+            },
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        if buf.has_remaining() {
+            return Err(WireError::InvalidPayload);
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as one frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Value(value) => {
+                buf.put_u8(RESP_VALUE);
+                match value {
+                    Some(v) => {
+                        buf.put_u8(1);
+                        wire::put_bytes(&mut buf, v);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            Response::Ok => buf.put_u8(RESP_OK),
+            Response::Status {
+                site,
+                keys,
+                tracked,
+                generation,
+            } => {
+                buf.put_u8(RESP_STATUS);
+                wire::put_varint(&mut buf, u64::from(*site));
+                wire::put_varint(&mut buf, *keys);
+                wire::put_varint(&mut buf, *tracked);
+                wire::put_varint(&mut buf, *generation);
+            }
+            Response::Digest(digest) => {
+                buf.put_u8(RESP_DIGEST);
+                wire::put_varint(&mut buf, *digest);
+            }
+            Response::Synced(report) => {
+                buf.put_u8(RESP_SYNCED);
+                for n in [
+                    report.keys_examined,
+                    report.keys_created,
+                    report.keys_fast_forwarded,
+                    report.keys_reconciled,
+                    report.keys_unchanged,
+                    report.meta_bytes,
+                    report.value_bytes,
+                ] {
+                    wire::put_varint(&mut buf, n as u64);
+                }
+            }
+            Response::Err(msg) => {
+                buf.put_u8(RESP_ERR);
+                wire::put_bytes(&mut buf, msg.as_bytes());
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes one response from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode`].
+    pub fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let resp = match buf.get_u8() {
+            RESP_VALUE => {
+                if !buf.has_remaining() {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let value = match buf.get_u8() {
+                    0 => None,
+                    1 => Some(wire::get_bytes(buf)?),
+                    tag => return Err(WireError::UnknownTag(tag)),
+                };
+                Response::Value(value)
+            }
+            RESP_OK => Response::Ok,
+            RESP_STATUS => {
+                let site = wire::get_varint(buf)?;
+                if site > u64::from(u32::MAX) {
+                    return Err(WireError::InvalidPayload);
+                }
+                Response::Status {
+                    site: site as u32,
+                    keys: wire::get_varint(buf)?,
+                    tracked: wire::get_varint(buf)?,
+                    generation: wire::get_varint(buf)?,
+                }
+            }
+            RESP_DIGEST => Response::Digest(wire::get_varint(buf)?),
+            RESP_SYNCED => {
+                let mut fields = [0usize; 7];
+                for field in &mut fields {
+                    *field = wire::get_varint(buf)? as usize;
+                }
+                Response::Synced(KvSyncReport {
+                    keys_examined: fields[0],
+                    keys_created: fields[1],
+                    keys_fast_forwarded: fields[2],
+                    keys_reconciled: fields[3],
+                    keys_unchanged: fields[4],
+                    meta_bytes: fields[5],
+                    value_bytes: fields[6],
+                })
+            }
+            RESP_ERR => Response::Err(get_string(buf)?),
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        if buf.has_remaining() {
+            return Err(WireError::InvalidPayload);
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Get { key: "k".into() },
+            Request::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"v"),
+            },
+            Request::Delete { key: "gone".into() },
+            Request::Status,
+            Request::Digest,
+            Request::Sync {
+                peer: "127.0.0.1:7701".into(),
+            },
+        ];
+        for req in reqs {
+            let mut buf = req.encode();
+            assert_eq!(Request::decode(&mut buf), Ok(req));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::Value(None),
+            Response::Value(Some(Bytes::from_static(b"hello"))),
+            Response::Ok,
+            Response::Status {
+                site: 3,
+                keys: 10,
+                tracked: 12,
+                generation: 99,
+            },
+            Response::Digest(u64::MAX),
+            Response::Synced(KvSyncReport {
+                keys_examined: 5,
+                keys_created: 1,
+                keys_fast_forwarded: 2,
+                keys_reconciled: 1,
+                keys_unchanged: 1,
+                meta_bytes: 120,
+                value_bytes: 34,
+            }),
+            Response::Err("no such peer".into()),
+        ];
+        for resp in resps {
+            let mut buf = resp.encode();
+            assert_eq!(Response::decode(&mut buf), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn truncations_and_junk_are_rejected() {
+        let full = Request::Put {
+            key: "key".into(),
+            value: Bytes::from_static(b"value"),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let mut buf = full.slice(0..cut);
+            assert!(Request::decode(&mut buf).is_err(), "cut {cut}");
+        }
+        let mut junk = Bytes::from_static(&[0x7f, 1, 2]);
+        assert_eq!(Request::decode(&mut junk), Err(WireError::UnknownTag(0x7f)));
+        // Trailing garbage after a valid verb is a protocol error.
+        let mut padded = BytesMut::new();
+        padded.put_slice(&Request::Status.encode());
+        padded.put_u8(0);
+        let mut buf = padded.freeze();
+        assert_eq!(Request::decode(&mut buf), Err(WireError::InvalidPayload));
+    }
+}

@@ -1,0 +1,285 @@
+//! In-process daemon cluster tests: the same 3-node loopback topology
+//! the README quickstart and the CI smoke script drive with real
+//! processes, plus the fault cases the ISSUE pins down (a daemon dying
+//! mid-sync must leave the survivors' metadata byte-identical).
+
+use optrep_core::{Error, SiteId};
+use optrep_kv::KvStore;
+use optrep_net::ConnectOptions;
+use optrep_server::{Client, Node, NodeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+/// Short deadlines so failure tests don't wait out 5 s socket timeouts.
+fn fast_connect() -> ConnectOptions {
+    ConnectOptions::new()
+        .attempts(2)
+        .backoff(Duration::from_millis(1), Duration::from_millis(4))
+        .timeouts(
+            Some(Duration::from_millis(400)),
+            Some(Duration::from_millis(400)),
+        )
+}
+
+fn ephemeral() -> SocketAddr {
+    "127.0.0.1:0".parse().expect("loopback")
+}
+
+fn start_node(site: u32) -> Node {
+    Node::start(NodeConfig::new(SiteId::new(site), ephemeral()).with_connect(fast_connect()))
+        .expect("node starts")
+}
+
+#[test]
+fn three_node_cluster_converges_via_sync_verbs() {
+    let nodes = [start_node(0), start_node(1), start_node(2)];
+    // Divergent writes, including a conflict on "shared" and a tombstone.
+    nodes[0].with_store(|s| {
+        s.put("alpha", "from-a");
+        s.put("shared", "a-version");
+    });
+    nodes[1].with_store(|s| {
+        s.put("beta", "from-b");
+        s.put("shared", "b-version");
+    });
+    nodes[2].with_store(|s| {
+        s.put("gamma", "from-c");
+        s.delete("gamma");
+        s.put("delta", "from-c");
+    });
+    let digests: Vec<u64> = nodes.iter().map(Node::digest).collect();
+    assert_eq!(
+        digests
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        3
+    );
+
+    // Pull rounds over the verb protocol until every digest agrees,
+    // exactly as `optrep sync` does from the shell.
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+    let mut clients: Vec<Client> = nodes
+        .iter()
+        .map(|n| Client::connect(n.addr(), &fast_connect()).expect("client connects"))
+        .collect();
+    for _round in 0..4 {
+        for (dst, client) in clients.iter_mut().enumerate() {
+            for (src, addr) in addrs.iter().enumerate() {
+                if dst != src {
+                    client.sync(addr).expect("sync verb succeeds");
+                }
+            }
+        }
+        let digests: Vec<u64> = nodes.iter().map(Node::digest).collect();
+        if digests.iter().all(|d| *d == digests[0]) {
+            break;
+        }
+    }
+    let digests: Vec<u64> = nodes.iter().map(Node::digest).collect();
+    assert!(
+        digests.iter().all(|d| *d == digests[0]),
+        "cluster did not converge: {digests:x?}"
+    );
+    // Every replica serves every key; the conflict resolved identically.
+    let shared = clients[0].get("shared").expect("get").expect("present");
+    for client in &mut clients {
+        assert_eq!(
+            client.get("alpha").expect("get").as_deref(),
+            Some(&b"from-a"[..])
+        );
+        assert_eq!(
+            client.get("beta").expect("get").as_deref(),
+            Some(&b"from-b"[..])
+        );
+        assert_eq!(
+            client.get("delta").expect("get").as_deref(),
+            Some(&b"from-c"[..])
+        );
+        assert_eq!(
+            client.get("gamma").expect("get"),
+            None,
+            "tombstone replicated"
+        );
+        assert_eq!(
+            client.get("shared").expect("get").as_deref(),
+            Some(&shared[..])
+        );
+    }
+    for node in nodes {
+        node.stop();
+    }
+}
+
+#[test]
+fn verbs_roundtrip_over_the_wire() {
+    let node = start_node(7);
+    let mut client = Client::connect(node.addr(), &fast_connect()).expect("connect");
+    assert_eq!(client.get("missing").expect("get"), None);
+    client.put("k", &b"v1"[..]).expect("put");
+    assert_eq!(client.get("k").expect("get").as_deref(), Some(&b"v1"[..]));
+    let (site, keys, tracked, generation) = client.status().expect("status");
+    assert_eq!(site, 7);
+    assert_eq!((keys, tracked), (1, 1));
+    assert!(generation > 0);
+    client.delete("k").expect("delete");
+    assert_eq!(client.get("k").expect("get"), None);
+    let (_, keys, tracked, _) = client.status().expect("status");
+    assert_eq!((keys, tracked), (0, 1), "tombstones stay tracked");
+    assert_eq!(client.digest().expect("digest"), node.digest());
+    node.stop();
+}
+
+#[test]
+fn tcp_pull_report_matches_in_memory_sync() {
+    // The same two stores, one pair synced in-process and one served
+    // over real sockets: the pull reports (including meta/value byte
+    // counts) must be identical — sockets add wall-clock, not bytes.
+    let seed_dst = |s: &mut KvStore| {
+        s.put("common", "dst");
+        s.put("mine", "dst-only");
+    };
+    let seed_src = |s: &mut KvStore| {
+        s.put("common", "src");
+        s.put("theirs", "src-only");
+        s.delete("mine-gone");
+    };
+    let mut mem_dst = KvStore::new(SiteId::new(0));
+    let mut mem_src = KvStore::new(SiteId::new(1));
+    seed_dst(&mut mem_dst);
+    seed_src(&mut mem_src);
+    let reference = mem_dst.sync(&mem_src).run().expect("in-memory sync");
+
+    let dst = start_node(0);
+    let src = start_node(1);
+    dst.with_store(seed_dst);
+    src.with_store(seed_src);
+    let report = dst.sync_with(src.addr()).expect("tcp pull");
+    assert_eq!(report, reference, "byte-for-byte identical pull report");
+    assert_eq!(dst.digest(), mem_dst.replica_digest());
+    dst.stop();
+    src.stop();
+}
+
+#[test]
+fn dead_peer_leaves_survivor_metadata_untouched() {
+    let survivor = start_node(0);
+    survivor.with_store(|s| {
+        s.put("stable", "value");
+        s.put("other", "value");
+    });
+    let before = survivor.digest();
+
+    // Peer 1: nothing listening (daemon killed before the dial).
+    let dead = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let err = survivor.sync_with(dead).expect_err("dial must fail");
+    assert!(matches!(err, Error::ConnectionLost { .. }), "{err:?}");
+    assert_eq!(survivor.digest(), before, "failed dial mutated the store");
+
+    // Peer 2: accepts, reads the burst, answers with a truncated frame,
+    // dies mid-sync. The survivor must abort — digest-identical state.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let killer = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        // A frame header promising more payload than will ever come.
+        let _ = stream.write_all(&[3, 200, 1, 2, 3]);
+        drop(stream);
+    });
+    let err = survivor
+        .sync_with(addr)
+        .expect_err("mid-frame death must fail");
+    assert!(
+        matches!(err, Error::ConnectionLost { .. } | Error::Incomplete { .. }),
+        "{err:?}"
+    );
+    killer.join().expect("killer thread");
+    assert_eq!(survivor.digest(), before, "aborted pull mutated the store");
+
+    // The survivor still syncs fine with a healthy peer afterwards.
+    let healthy = start_node(1);
+    healthy.with_store(|s| s.put("fresh", "peer"));
+    survivor.sync_with(healthy.addr()).expect("healthy pull");
+    assert_ne!(survivor.digest(), before);
+    survivor.with_store(|s| assert_eq!(s.get("fresh"), Some(&b"peer"[..])));
+    survivor.stop();
+    healthy.stop();
+}
+
+#[test]
+fn gossip_thread_converges_without_explicit_syncs() {
+    let seeded = start_node(0);
+    seeded.with_store(|s| {
+        s.put("origin", "seeded");
+    });
+    let follower = Node::start(
+        NodeConfig::new(SiteId::new(1), ephemeral())
+            .with_connect(fast_connect())
+            .with_peers([seeded.addr()])
+            .with_gossip(Duration::from_millis(20)),
+    )
+    .expect("follower starts");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while follower.digest() != seeded.digest() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "gossip did not converge in time"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    follower.with_store(|s| assert_eq!(s.get("origin"), Some(&b"seeded"[..])));
+    follower.stop();
+    seeded.stop();
+}
+
+#[test]
+fn concurrent_writes_during_pull_are_not_lost() {
+    // A local write racing the pull's network phase must survive: the
+    // generation check forces a retry instead of committing outcomes
+    // staged against pre-write metadata.
+    let dst = start_node(0);
+    let src = start_node(1);
+    src.with_store(|s| {
+        for i in 0..50 {
+            s.put(format!("bulk{i}"), "payload");
+        }
+    });
+    let writer = {
+        let addr = dst.addr();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr, &fast_connect()).expect("connect");
+            for i in 0..20 {
+                client
+                    .put(&format!("racing{i}"), &b"local"[..])
+                    .expect("put");
+            }
+        })
+    };
+    // Pull repeatedly while the writer hammers; racing pulls may error
+    // out (raced too often) but must never drop a local write.
+    for _ in 0..5 {
+        let _ = dst.sync_with(src.addr());
+    }
+    writer.join().expect("writer thread");
+    let _ = dst.sync_with(src.addr());
+    dst.with_store(|s| {
+        for i in 0..20 {
+            assert_eq!(
+                s.get(&format!("racing{i}")),
+                Some(&b"local"[..]),
+                "local write racing{i} was lost"
+            );
+        }
+        for i in 0..50 {
+            assert_eq!(s.get(&format!("bulk{i}")), Some(&b"payload"[..]));
+        }
+    });
+    dst.stop();
+    src.stop();
+}
