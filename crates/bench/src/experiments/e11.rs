@@ -7,10 +7,11 @@
 //! bounds — are byte-identical, and only wall-clock pays for the kernel
 //! round-trips. This experiment converges the same seeded cluster twice
 //! per size, once over [`Transport::Mux`] (in-process lockstep) and
-//! once over [`Transport::Tcp`] (one real loopback connection per
-//! contact, accept/serve on a spawned thread), asserts identical
-//! rounds, byte counters and final site digests, and reports the
-//! wall-clock overhead of the socket path.
+//! once over [`Transport::Tcp`] (real loopback sockets, one pooled
+//! lane per directed site pair with contacts pipelined over it —
+//! DESIGN.md §12), asserts identical rounds, byte counters and final
+//! site digests, and reports the wall-clock overhead of the socket
+//! path.
 //!
 //! The TURN markers the half-duplex TCP discipline adds are transport
 //! overhead by design and deliberately excluded from the protocol
@@ -132,7 +133,7 @@ pub fn run() -> Vec<Table> {
         ]);
     }
     t.note("identical rounds, byte counters and site digests across transports (asserted)");
-    t.note("tcp/mem is socket wall-clock over in-process; one loopback connection per contact");
+    t.note("tcp/mem is socket wall-clock over in-process; one pooled lane per site pair");
     vec![t]
 }
 

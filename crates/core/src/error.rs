@@ -90,6 +90,21 @@ pub enum WireError {
         /// The decoder's configured cap.
         max: u64,
     },
+    /// The peer speaks the optrep protocol but at an incompatible
+    /// version. Carries both sides so the operator can see at a glance
+    /// which end is stale.
+    UnsupportedVersion {
+        /// The version this build speaks.
+        ours: u8,
+        /// The version the peer advertised.
+        theirs: u8,
+    },
+    /// The peer's handshake carried an intent tag this build does not
+    /// recognize (e.g. a newer connection kind).
+    UnsupportedIntent {
+        /// The intent tag the peer advertised.
+        theirs: u8,
+    },
 }
 
 impl fmt::Display for Error {
@@ -141,6 +156,18 @@ impl fmt::Display for WireError {
             WireError::FrameTooLarge { declared, max } => {
                 write!(f, "frame declares {declared} payload bytes (max {max})")
             }
+            WireError::UnsupportedVersion { ours, theirs } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {theirs}, this build speaks {ours}"
+                )
+            }
+            WireError::UnsupportedIntent { theirs } => {
+                write!(
+                    f,
+                    "peer advertised unsupported connection intent {theirs:#x}"
+                )
+            }
         }
     }
 }
@@ -185,6 +212,8 @@ mod tests {
                 declared: u64::MAX,
                 max: 1 << 24,
             }),
+            Error::Wire(WireError::UnsupportedVersion { ours: 2, theirs: 1 }),
+            Error::Wire(WireError::UnsupportedIntent { theirs: 9 }),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -297,7 +297,10 @@ pub const HANDSHAKE_MAGIC: [u8; 4] = *b"OPTR";
 
 /// Wire protocol version carried by the [`Handshake`]. Bump on any
 /// incompatible change to the frame or message formats.
-pub const HANDSHAKE_VERSION: u8 = 1;
+///
+/// v2 added the persistent [`Intent::Peer`] connection kind that carries
+/// many pull contacts back-to-back over one socket.
+pub const HANDSHAKE_VERSION: u8 = 2;
 
 /// What the connecting peer intends to do with the connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -306,8 +309,13 @@ pub enum Intent {
     /// (`get`/`put`/`sync`/`status`/`digest`).
     Verbs,
     /// An anti-entropy pull: the connector drives a batched mux contact
-    /// as the pulling side; the accepting daemon serves its store.
+    /// as the pulling side; the accepting daemon serves its store. The
+    /// socket carries exactly one contact and closes.
     Pull,
+    /// A persistent peer channel: the connector pipelines successive
+    /// pull contacts over the same socket, each delimited by the mux
+    /// FIN-marker exchange, with no per-contact dial or teardown.
+    Peer,
 }
 
 /// The first frame on every socket connection: magic, protocol version,
@@ -339,6 +347,7 @@ impl Handshake {
         buf.put_u8(match self.intent {
             Intent::Verbs => 0,
             Intent::Pull => 1,
+            Intent::Peer => 2,
         });
         buf.freeze()
     }
@@ -348,9 +357,11 @@ impl Handshake {
     /// # Errors
     ///
     /// [`WireError::InvalidPayload`] on bad magic (the peer is not
-    /// speaking this protocol), [`WireError::UnknownTag`] on an
-    /// unsupported version or intent, [`WireError::UnexpectedEof`] on
-    /// truncation.
+    /// speaking this protocol), [`WireError::UnsupportedVersion`] /
+    /// [`WireError::UnsupportedIntent`] on a version or intent this build
+    /// does not speak — both carry the peer's advertised value so the
+    /// mismatch is diagnosable from one end — and
+    /// [`WireError::UnexpectedEof`] on truncation.
     pub fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         if buf.remaining() < HANDSHAKE_MAGIC.len() + 1 {
             return Err(WireError::UnexpectedEof);
@@ -362,7 +373,10 @@ impl Handshake {
         }
         let version = buf.get_u8();
         if version != HANDSHAKE_VERSION {
-            return Err(WireError::UnknownTag(version));
+            return Err(WireError::UnsupportedVersion {
+                ours: HANDSHAKE_VERSION,
+                theirs: version,
+            });
         }
         let site = get_varint(buf)?;
         let site = u32::try_from(site).map_err(|_| WireError::InvalidPayload)?;
@@ -372,7 +386,8 @@ impl Handshake {
         let intent = match buf.get_u8() {
             0 => Intent::Verbs,
             1 => Intent::Pull,
-            tag => return Err(WireError::UnknownTag(tag)),
+            2 => Intent::Peer,
+            tag => return Err(WireError::UnsupportedIntent { theirs: tag }),
         };
         Ok(Handshake { site, intent })
     }
@@ -583,7 +598,7 @@ mod tests {
 
     #[test]
     fn handshake_roundtrip() {
-        for intent in [Intent::Verbs, Intent::Pull] {
+        for intent in [Intent::Verbs, Intent::Pull, Intent::Peer] {
             let hs = Handshake::new(7, intent);
             let mut buf = hs.encode();
             assert_eq!(Handshake::decode(&mut buf), Ok(hs));
@@ -600,7 +615,7 @@ mod tests {
         let mut buf = Bytes::from_static(b"HTTP/1.1 200");
         assert_eq!(Handshake::decode(&mut buf), Err(WireError::InvalidPayload));
 
-        // Unsupported version.
+        // Unsupported version: the error names both sides' versions.
         let mut raw = BytesMut::new();
         raw.put_slice(&HANDSHAKE_MAGIC);
         raw.put_u8(HANDSHAKE_VERSION + 1);
@@ -609,17 +624,23 @@ mod tests {
         let mut buf = raw.freeze();
         assert_eq!(
             Handshake::decode(&mut buf),
-            Err(WireError::UnknownTag(HANDSHAKE_VERSION + 1))
+            Err(WireError::UnsupportedVersion {
+                ours: HANDSHAKE_VERSION,
+                theirs: HANDSHAKE_VERSION + 1,
+            })
         );
 
-        // Unknown intent.
+        // Unknown intent: the error carries the peer's advertised tag.
         let mut raw = BytesMut::new();
         raw.put_slice(&HANDSHAKE_MAGIC);
         raw.put_u8(HANDSHAKE_VERSION);
         put_varint(&mut raw, 0);
         raw.put_u8(9);
         let mut buf = raw.freeze();
-        assert_eq!(Handshake::decode(&mut buf), Err(WireError::UnknownTag(9)));
+        assert_eq!(
+            Handshake::decode(&mut buf),
+            Err(WireError::UnsupportedIntent { theirs: 9 })
+        );
 
         // Every truncation of a valid preamble is an error, never a panic.
         let full = Handshake::new(3, Intent::Pull).encode();

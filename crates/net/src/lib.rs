@@ -18,14 +18,25 @@
 //! * [`tcp`] — real sockets: [`TcpLink`] moves the same wire frames
 //!   over a `std::net::TcpStream` with deadlines, bounded connect
 //!   retry and graceful FIN, for daemon deployments (`optrepd`).
+//! * [`pool`] — persistent peer connections: [`ConnPool`] keeps one
+//!   long-lived handshaken [`TcpLink`] per peer so successive contacts
+//!   pipeline over the same socket, with stale-connection redial folded
+//!   into the callers' retry machinery.
+//! * [`reactor`] (unix) — readiness primitives (`poll(2)` binding and a
+//!   cross-thread [`reactor::Waker`]) for the daemon's event-driven
+//!   connection core.
 
 pub mod fault;
 pub mod link;
 pub mod mem;
+pub mod pool;
+#[cfg(unix)]
+pub mod reactor;
 pub mod sim;
 pub mod tcp;
 
 pub use fault::{mix_seed, FaultPlan, FaultStats, FaultyLink, TransmitOutcome};
 pub use link::LinkStats;
+pub use pool::{ConnPool, PoolStats};
 pub use sim::{SimConfig, SimLink, SimReport};
 pub use tcp::{ConnectOptions, FrameLink, TcpLink};

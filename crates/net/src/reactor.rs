@@ -1,0 +1,255 @@
+//! Readiness primitives for the daemon's event-driven core.
+//!
+//! The server crate's event loop multiplexes hundreds of peer
+//! connections onto one thread. The kernel interface it needs is tiny —
+//! "which of these sockets are readable/writable now?" — so rather than
+//! pull in `mio`, this module binds `poll(2)` directly (the symbol is in
+//! libc, which every `std` binary already links). `poll` is O(n) per
+//! call in the number of fds, which is irrelevant at the few hundred
+//! connections a daemon holds and buys total portability across unixes.
+//!
+//! [`Waker`] lets other threads (an executor finishing a blocking verb,
+//! a shutdown request) interrupt the poll: it is a nonblocking
+//! socketpair whose read end sits in every poll set.
+
+#![cfg(unix)]
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+#[repr(C)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+}
+
+/// What a caller wants to know about one fd.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// Wake when the fd can take more bytes without blocking.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the common case for idle connections.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Read + write interest — used while a write buffer is nonempty.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// What the kernel reported about one fd.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Readiness {
+    /// Data (or an accept, or EOF) is available.
+    pub readable: bool,
+    /// The fd can take writes.
+    pub writable: bool,
+    /// Error/hangup/invalid — the connection should be torn down after
+    /// a final read drains whatever the kernel still buffers.
+    pub error: bool,
+}
+
+/// One `poll(2)` round over `fds`, with `timeout` (`None` blocks).
+///
+/// Returns per-fd [`Readiness`] aligned with the input slice, and the
+/// number of ready fds (0 on timeout).
+///
+/// # Errors
+///
+/// Any `poll(2)` failure except `EINTR`, which is reported as a ready
+/// count of 0 so callers simply re-enter their loop.
+pub fn poll_ready(
+    fds: &[(RawFd, Interest)],
+    timeout: Option<Duration>,
+) -> io::Result<(usize, Vec<Readiness>)> {
+    let mut pollfds: Vec<PollFd> = fds
+        .iter()
+        .map(|&(fd, interest)| PollFd {
+            fd,
+            events: (if interest.readable { POLLIN } else { 0 })
+                | (if interest.writable { POLLOUT } else { 0 }),
+            revents: 0,
+        })
+        .collect();
+    let timeout_ms: std::ffi::c_int = match timeout {
+        None => -1,
+        Some(t) => t.as_millis().min(i32::MAX as u128) as std::ffi::c_int,
+    };
+    let rc = unsafe {
+        poll(
+            pollfds.as_mut_ptr(),
+            pollfds.len() as std::ffi::c_ulong,
+            timeout_ms,
+        )
+    };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok((0, vec![Readiness::default(); fds.len()]));
+        }
+        return Err(err);
+    }
+    let ready = pollfds
+        .iter()
+        .map(|p| Readiness {
+            readable: p.revents & (POLLIN | POLLHUP) != 0,
+            writable: p.revents & POLLOUT != 0,
+            error: p.revents & (POLLERR | POLLHUP | POLLNVAL) != 0,
+        })
+        .collect();
+    Ok((rc as usize, ready))
+}
+
+/// Cross-thread wakeup for a `poll_ready` loop.
+///
+/// The read end's fd goes into every poll set; [`Waker::wake`] makes it
+/// readable from any thread, and the loop calls [`Waker::drain`] before
+/// processing so coalesced wakes cost one syscall.
+pub struct Waker {
+    reader: UnixStream,
+    writer: UnixStream,
+}
+
+impl Waker {
+    /// A fresh waker pair (both ends nonblocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socketpair/ioctl failures (fd exhaustion).
+    pub fn new() -> io::Result<Waker> {
+        let (reader, writer) = UnixStream::pair()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        Ok(Waker { reader, writer })
+    }
+
+    /// The fd to include (readable interest) in the poll set.
+    pub fn fd(&self) -> RawFd {
+        self.reader.as_raw_fd()
+    }
+
+    /// Makes the poll loop wake. Infallible by design: a full pipe
+    /// already implies a pending wake, and any other failure means the
+    /// loop is gone and has nothing left to wake for.
+    pub fn wake(&self) {
+        let _ = (&self.writer).write(&[1]);
+    }
+
+    /// Clears pending wake bytes. Call once per loop iteration when the
+    /// waker fd polled readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.reader).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Capped exponential backoff for polling retry loops: `base << attempt`
+/// clamped to `cap` (shift itself clamped to avoid overflow). Used by
+/// the accept path on transient errors (EMFILE, ECONNABORTED) so a
+/// persistent error condition polls at `cap` rather than busy-looping
+/// at a fixed short interval.
+pub fn capped_poll_backoff(attempt: u32, base: Duration, cap: Duration) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(16)).min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let waker = Waker::new().expect("waker");
+        // Nothing pending: poll times out immediately.
+        let (n, _) = poll_ready(
+            &[(waker.fd(), Interest::READ)],
+            Some(Duration::from_millis(0)),
+        )
+        .expect("poll");
+        assert_eq!(n, 0);
+
+        waker.wake();
+        waker.wake(); // coalesces
+        let (n, ready) = poll_ready(
+            &[(waker.fd(), Interest::READ)],
+            Some(Duration::from_millis(1000)),
+        )
+        .expect("poll");
+        assert_eq!(n, 1);
+        assert!(ready[0].readable);
+
+        waker.drain();
+        let (n, _) = poll_ready(
+            &[(waker.fd(), Interest::READ)],
+            Some(Duration::from_millis(0)),
+        )
+        .expect("poll");
+        assert_eq!(n, 0, "drain must clear pending wakes");
+    }
+
+    #[test]
+    fn wake_from_other_thread_interrupts_poll() {
+        let waker = std::sync::Arc::new(Waker::new().expect("waker"));
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let start = std::time::Instant::now();
+        let (n, _) = poll_ready(
+            &[(waker.fd(), Interest::READ)],
+            Some(Duration::from_secs(10)),
+        )
+        .expect("poll");
+        assert_eq!(n, 1);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        handle.join().expect("join");
+    }
+
+    #[test]
+    fn sockets_report_write_readiness() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        client.set_nonblocking(true).expect("nonblocking");
+        let (n, ready) = poll_ready(
+            &[(client.as_raw_fd(), Interest::READ_WRITE)],
+            Some(Duration::from_millis(1000)),
+        )
+        .expect("poll");
+        assert_eq!(n, 1);
+        assert!(ready[0].writable, "fresh socket must be writable");
+        assert!(!ready[0].readable, "nothing was sent yet");
+    }
+
+    #[test]
+    fn backoff_caps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        assert_eq!(capped_poll_backoff(0, base, cap), base);
+        assert_eq!(capped_poll_backoff(3, base, cap), Duration::from_millis(80));
+        assert_eq!(capped_poll_backoff(30, base, cap), cap);
+    }
+}

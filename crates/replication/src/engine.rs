@@ -50,14 +50,16 @@
 //!   already launched in the failing wave still complete, and the sites
 //!   are always restored before the error propagates.
 
+#[cfg(debug_assertions)]
+use crate::gossip::digest_site;
 use crate::gossip::{
-    absorb_session, apply_contact_site, capped_backoff, digest_site, make_endpoints, Cluster,
-    ContactEnv, PeerHealth, RetryPolicy, RoundReport,
+    absorb_session, apply_contact_site, capped_backoff, make_endpoints, Cluster, ContactEnv,
+    PeerHealth, RetryPolicy, RoundReport,
 };
 use crate::meta::ReplicaMeta;
 use crate::mux::{
-    run_contact, run_contact_faulty, run_contact_link, serve_contact_link, ContactReport, CtrlMsg,
-    MuxMsg,
+    run_contact, run_contact_faulty, run_contact_pipelined, serve_contact_pipelined,
+    BatchPullServer, ContactReport, CtrlMsg, MuxMsg,
 };
 use crate::object::ObjectId;
 use crate::payload::{ReplicaPayload, WirePayload};
@@ -503,26 +505,106 @@ fn drive_stream<P: WirePayload>(
     })
 }
 
-/// One framed lockstep contact over a real loopback TCP connection.
+/// One contact's work order for a [`TcpLane`]'s serving thread: a fresh
+/// source-side endpoint snapshot plus the caller's obs sinks (shared
+/// `Arc`s, re-installed per contact, as the wave workers do).
+struct TcpLaneJob {
+    server: BatchPullServer,
+    sinks: Vec<Arc<dyn obs::Sink>>,
+}
+
+/// A persistent loopback TCP connection for one ordered `(dst, src)`
+/// pair: the pulling side's [`TcpLink`] plus a serving thread holding
+/// the accepted end, running one pipelined contact per [`TcpLaneJob`].
 ///
-/// A listener is bound on an ephemeral loopback port and the source
-/// site's [`BatchPullServer`](crate::mux::BatchPullServer) is served
-/// from a spawned thread ([`serve_contact_link`]); the calling thread
-/// dials it with [`TcpLink::connect`] and pulls through
-/// [`run_contact_link`]. Both halves are the same deterministic state
-/// machines the in-process runner drives in the same lockstep regime,
-/// so the committed [`ContactReport`] is byte-identical to
-/// [`Transport::Mux`] — `e11` measures exactly this overhead-without-
-/// byte-drift property.
+/// Lanes live in a process-wide registry ([`tcp_lanes`]) keyed by the
+/// pair's site indices and are checked out for the duration of a
+/// contact — the same persistent-connection regime the daemon's
+/// `ConnPool` runs, so repeated gossip rounds over the same pairing
+/// reuse one socket pair instead of binding a listener and dialing per
+/// contact. Between contacts the serving thread blocks on its job
+/// channel, not the socket, so idle lanes never time out. A lane whose
+/// contact fails is simply dropped: the serving thread errors out of
+/// the broken exchange and exits, and the engine's existing retry
+/// machinery opens a fresh lane on the next attempt.
+struct TcpLane {
+    link: TcpLink,
+    jobs: std::sync::mpsc::Sender<TcpLaneJob>,
+    done: std::sync::mpsc::Receiver<Result<()>>,
+}
+
+impl TcpLane {
+    /// Binds an ephemeral loopback listener, spawns the serving thread,
+    /// and dials it.
+    ///
+    /// # Errors
+    ///
+    /// Bind/addr failures are environmental (no loopback?) and surface
+    /// as [`Error::UnexpectedMessage`]; dial failures surface as link
+    /// weather ([`Error::ConnectionLost`]) for the caller to abort on.
+    fn open(opts: &ConnectOptions) -> Result<TcpLane> {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).map_err(|e| {
+            Error::UnexpectedMessage {
+                protocol: "engine",
+                message: format!("cannot bind loopback listener: {e}"),
+            }
+        })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::UnexpectedMessage {
+                protocol: "engine",
+                message: format!("loopback listener has no address: {e}"),
+            })?;
+        let (jobs, jobs_rx) = std::sync::mpsc::channel::<TcpLaneJob>();
+        let (done_tx, done) = std::sync::mpsc::channel::<Result<()>>();
+        let conn_opts = *opts;
+        std::thread::spawn(move || {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            let Ok(mut link) = TcpLink::from_stream(stream, &conn_opts) else {
+                return;
+            };
+            while let Ok(mut job) = jobs_rx.recv() {
+                let served = obs::with_all(job.sinks, || {
+                    serve_contact_pipelined(&mut job.server, &mut link)
+                });
+                let broken = served.is_err();
+                if done_tx.send(served).is_err() || broken {
+                    return;
+                }
+            }
+        });
+        let link = TcpLink::connect(addr, opts)?;
+        Ok(TcpLane { link, jobs, done })
+    }
+}
+
+/// The process-wide lane registry. Lanes hold only sockets and threads
+/// — never replica state (each contact ships a fresh endpoint snapshot)
+/// — so reuse across clusters or tests that happen to share site
+/// indices is harmless.
+fn tcp_lanes() -> &'static Mutex<std::collections::HashMap<(u32, u32), TcpLane>> {
+    static LANES: std::sync::OnceLock<Mutex<std::collections::HashMap<(u32, u32), TcpLane>>> =
+        std::sync::OnceLock::new();
+    LANES.get_or_init(|| Mutex::new(std::collections::HashMap::new()))
+}
+
+/// One framed lockstep contact over the pair's persistent loopback TCP
+/// connection ([`TcpLane`]).
 ///
-/// The caller's obs sinks are re-installed on the serving thread
-/// (shared `Arc`s, as the wave workers do), so server-side session
-/// events still reach the caller's aggregators; the contact scope and
-/// both directions' frame events are emitted by the pulling side.
+/// Both halves are the same deterministic state machines the in-process
+/// runner drives in the same lockstep regime, so the committed
+/// [`ContactReport`] is byte-identical to [`Transport::Mux`] — `e11`
+/// and `e12` measure exactly this overhead-without-byte-drift property.
+/// The contact scope and both directions' frame events are emitted by
+/// the pulling side; server-side session events reach the caller's
+/// aggregators through the sinks shipped with the job.
 ///
 /// A link failure (dial failure after retries, timeout, dropped
 /// connection) surfaces as [`Attempt::Aborted`] with the destination
-/// site untouched — same contract as the fault-injected path.
+/// site untouched — same contract as the fault-injected path — and
+/// tears down the lane so the retry dials fresh.
 fn drive_tcp<P: WirePayload>(
     env: &ContactEnv,
     opts: &ContactOptions,
@@ -539,44 +621,60 @@ fn drive_tcp<P: WirePayload>(
                 .to_string(),
         });
     }
-    let (mut client, mut server) = make_endpoints(dst_site, src_site);
-    let conn_opts = ConnectOptions::new();
-    // Bind/addr failures are environmental (no loopback?), not link
-    // weather: fatal, like a protocol violation.
-    let listener =
-        std::net::TcpListener::bind(("127.0.0.1", 0)).map_err(|e| Error::UnexpectedMessage {
-            protocol: "engine",
-            message: format!("cannot bind loopback listener: {e}"),
-        })?;
-    let addr = listener
-        .local_addr()
-        .map_err(|e| Error::UnexpectedMessage {
-            protocol: "engine",
-            message: format!("loopback listener has no address: {e}"),
-        })?;
-    let sinks = obs::installed();
-    let serve = std::thread::spawn(move || {
-        obs::with_all(sinks, || {
-            let (stream, _) = listener
-                .accept()
-                .map_err(|_| Error::ConnectionLost { after_bytes: 0 })?;
-            let mut link = TcpLink::from_stream(stream, &conn_opts)?;
-            serve_contact_link(&mut server, &mut link)
-        })
-    });
+    let (mut client, server) = make_endpoints(dst_site, src_site);
+    let key = (env.dst.index(), env.src.index());
+    // Check the pair's lane out of the registry (same-wave contacts are
+    // site-disjoint, so nothing else holds it); open one on first use.
+    let checked_out = {
+        let mut map = match tcp_lanes().lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        map.remove(&key)
+    };
+    let mut lane = match checked_out {
+        Some(lane) => lane,
+        None => match TcpLane::open(&ConnectOptions::new()) {
+            Ok(lane) => lane,
+            Err(e @ Error::UnexpectedMessage { .. }) => return Err(e),
+            Err(error) => {
+                return Ok(Attempt::Aborted {
+                    error,
+                    fault: FaultStats::default(),
+                })
+            }
+        },
+    };
     #[cfg(debug_assertions)]
     let digest_before = digest_site(dst_site);
-    let pulled = TcpLink::connect(addr, &conn_opts)
-        .and_then(|mut link| run_contact_link(&mut client, &mut link));
-    let served = serve.join().map_err(|_| Error::PeerFailed {
-        protocol: "tcp contact",
-    });
+    let pulled = lane
+        .jobs
+        .send(TcpLaneJob {
+            server,
+            sinks: obs::installed(),
+        })
+        .map_err(|_| Error::PeerFailed {
+            protocol: "tcp contact",
+        })
+        .and_then(|()| run_contact_pipelined(&mut client, &mut lane.link));
     match pulled {
         Ok(report) => {
+            // The pull completing implies the server answered the final
+            // marker, so this recv is immediate.
+            let served = lane.done.recv().map_err(|_| Error::PeerFailed {
+                protocol: "tcp contact",
+            });
             debug_assert!(
                 matches!(served, Ok(Ok(()))),
                 "client completed but server failed: {served:?}"
             );
+            if matches!(served, Ok(Ok(()))) {
+                let mut map = match tcp_lanes().lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                map.insert(key, lane);
+            }
             apply_contact_site(dst_site, env.dst, reconciler, stats, client, &report)?;
             Ok(Attempt::Committed {
                 round_trips: report.round_trips,
@@ -584,6 +682,8 @@ fn drive_tcp<P: WirePayload>(
             })
         }
         Err(error) => {
+            // Dropping the lane closes our end; the serving thread
+            // errors out of the broken contact and exits.
             #[cfg(debug_assertions)]
             debug_assert_eq!(
                 digest_site(dst_site),

@@ -36,9 +36,10 @@ pub use engine::{Attempt, ContactOptions, ContactScheme, Transport};
 pub use gossip::{Cluster, ClusterSnapshot, ClusterStats, ContactEnv, RetryPolicy, RoundReport};
 pub use meta::ReplicaMeta;
 pub use mux::{
-    classify, reason_label, run_contact, run_contact_faulty, run_contact_link, serve_contact_link,
-    BatchPullClient, BatchPullServer, ContactReport, CtrlMsg, FrameBytes, MuxMsg, StreamResult,
-    CONTROL_STREAM,
+    classify, reason_label, run_contact, run_contact_faulty, run_contact_link,
+    run_contact_pipelined, serve_contact_link, serve_contact_pipelined, serve_frame,
+    BatchPullClient, BatchPullServer, ContactReport, CtrlMsg, FrameBytes, MuxMsg, ServeStep,
+    StreamResult, CONTROL_STREAM,
 };
 pub use object::ObjectId;
 pub use oplog::OpReplica;

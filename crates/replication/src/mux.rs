@@ -1314,8 +1314,36 @@ pub fn run_contact_link<L: FrameLink>(
     client: &mut BatchPullClient,
     link: &mut L,
 ) -> Result<ContactReport> {
+    run_link_contact(client, link, true)
+}
+
+/// Drives one pulling contact over a link that stays open afterwards.
+///
+/// Identical to [`run_contact_link`] except that the socket is **not**
+/// FIN'd on success: both endpoints finish at a clean frame boundary
+/// (each has consumed the other's FIN *marker*), so the next contact can
+/// be pipelined over the same connection with no dial, handshake, or
+/// teardown. On error the link is FIN'd as usual — a failed contact
+/// poisons the connection and the caller must discard it.
+///
+/// # Errors
+///
+/// As [`run_contact_link`].
+pub fn run_contact_pipelined<L: FrameLink>(
+    client: &mut BatchPullClient,
+    link: &mut L,
+) -> Result<ContactReport> {
+    run_link_contact(client, link, false)
+}
+
+/// Shared body of [`run_contact_link`] / [`run_contact_pipelined`].
+fn run_link_contact<L: FrameLink>(
+    client: &mut BatchPullClient,
+    link: &mut L,
+    fin_on_done: bool,
+) -> Result<ContactReport> {
     let scope = obs::contact_scope(client.streams.len() as u64);
-    match drive_link(client, link, scope.id()) {
+    match drive_link(client, link, scope.id(), fin_on_done) {
         Ok(report) => {
             scope.close(report.round_trips, report.totals());
             Ok(report)
@@ -1329,15 +1357,25 @@ pub fn run_contact_link<L: FrameLink>(
 }
 
 /// The loop body of [`run_contact_link`], without the contact scope.
+///
+/// Each client burst — every queued frame plus the trailing turn or FIN
+/// marker — is flushed in a *single* [`FrameLink::send_bytes`] call: the
+/// byte sequence on the wire is unchanged (the peer's decoder reassembles
+/// frames identically) but a burst costs one syscall instead of one per
+/// frame, which matters once hundreds of contacts pipeline over
+/// persistent connections.
 fn drive_link<L: FrameLink>(
     client: &mut BatchPullClient,
     link: &mut L,
     contact: u64,
+    fin_on_done: bool,
 ) -> Result<ContactReport> {
     let mut report = ContactReport::default();
     let mut payload_requested = false;
+    let mut burst = BytesMut::new();
     loop {
         let mut progress = false;
+        burst.clear();
         while let Some(framed) = client.poll_send() {
             report.account(&framed);
             emit_frame_tx(contact, &framed, true);
@@ -1346,14 +1384,15 @@ fn drive_link<L: FrameLink>(
                 MuxMsg::Session(SessionMsg::PayloadRequest) => payload_requested = true,
                 _ => {}
             }
-            link.send_bytes(&framed.to_bytes())?;
+            burst.extend_from_slice(&framed.to_bytes());
             progress = true;
         }
         if client.is_done() {
             // Nothing more to say: FIN, then drain the server's tail
             // (completion is permanent — late frames for finished
             // streams are tolerated, never answered).
-            link.send_bytes(&marker_bytes(true))?;
+            burst.extend_from_slice(&marker_bytes(true));
+            link.send_bytes(&burst)?;
             loop {
                 let frame = link.recv_frame()?;
                 if frame.stream == TURN_STREAM {
@@ -1368,10 +1407,13 @@ fn drive_link<L: FrameLink>(
                 client.on_receive(framed)?;
             }
             report.round_trips += u64::from(payload_requested);
-            link.fin();
+            if fin_on_done {
+                link.fin();
+            }
             return Ok(report);
         }
-        link.send_bytes(&marker_bytes(false))?;
+        burst.extend_from_slice(&marker_bytes(false));
+        link.send_bytes(&burst)?;
         loop {
             let frame = link.recv_frame()?;
             if frame.stream == TURN_STREAM {
@@ -1418,40 +1460,106 @@ fn drive_link<L: FrameLink>(
 /// [`Error::Incomplete`] if the client FINs while streams are still
 /// open. On any error the link is FIN'd so the peer unblocks.
 pub fn serve_contact_link<L: FrameLink>(server: &mut BatchPullServer, link: &mut L) -> Result<()> {
-    serve_link(server, link).inspect_err(|_| link.fin())
+    serve_link(server, link, true).inspect_err(|_| link.fin())
 }
 
-/// The loop body of [`serve_contact_link`].
-fn serve_link<L: FrameLink>(server: &mut BatchPullServer, link: &mut L) -> Result<()> {
+/// Serves one contact over a link that stays open afterwards — the
+/// serving half of [`run_contact_pipelined`]. The FIN *marker* exchange
+/// still delimits the contact, but the socket is left usable so the peer
+/// can open the next contact immediately. On error the link is FIN'd
+/// (the connection is poisoned either way).
+///
+/// # Errors
+///
+/// As [`serve_contact_link`].
+pub fn serve_contact_pipelined<L: FrameLink>(
+    server: &mut BatchPullServer,
+    link: &mut L,
+) -> Result<()> {
+    serve_link(server, link, false).inspect_err(|_| link.fin())
+}
+
+/// The loop body of [`serve_contact_link`]: a thin blocking pump around
+/// [`serve_frame`], which holds the actual turn discipline. Event-driven
+/// callers (the daemon's reactor) feed [`serve_frame`] directly instead.
+fn serve_link<L: FrameLink>(
+    server: &mut BatchPullServer,
+    link: &mut L,
+    fin_on_done: bool,
+) -> Result<()> {
+    let mut out = BytesMut::new();
     loop {
-        let fin = loop {
-            let frame = link.recv_frame()?;
-            if frame.stream == TURN_STREAM {
-                break marker_is_fin(&frame);
+        let frame = link.recv_frame()?;
+        out.clear();
+        let step = serve_frame(server, frame, &mut out)?;
+        if !out.is_empty() {
+            link.send_bytes(&out)?;
+        }
+        if step == ServeStep::Done {
+            if fin_on_done {
+                link.fin();
             }
-            server.on_receive(decode_frame_msg(frame)?)?;
-        };
-        if fin {
-            while let Some(framed) = server.poll_send() {
-                link.send_bytes(&framed.to_bytes())?;
-            }
-            if !server.is_done() {
-                // The client walked away from open streams. Cut the
-                // connection instead of FIN-ing clean — the puller must
-                // see an aborted contact, not a completed one.
-                return Err(Error::Incomplete {
-                    protocol: "tcp contact",
-                });
-            }
-            link.send_bytes(&marker_bytes(true))?;
-            link.fin();
             return Ok(());
         }
-        if let Some(framed) = server.poll_send() {
-            link.send_bytes(&framed.to_bytes())?;
-        }
-        link.send_bytes(&marker_bytes(false))?;
     }
+}
+
+/// What a [`serve_frame`] call concluded about the contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStep {
+    /// Mid-contact: keep feeding frames (and flush whatever was queued
+    /// in `out` — a turn answer, or nothing for an absorbed burst frame).
+    Continue,
+    /// The contact completed cleanly: `out` ends with the server's FIN
+    /// marker. A persistent connection serves the next contact with a
+    /// fresh [`BatchPullServer`]; a one-shot connection closes.
+    Done,
+}
+
+/// Advances the serving half of a contact by one received frame,
+/// appending any response bytes to `out`.
+///
+/// This is [`serve_contact_link`]'s turn discipline factored into a
+/// push-style step so both the blocking pump and the daemon's
+/// readiness-driven event loop share one state machine: absorb burst
+/// frames silently; on a turn marker answer exactly *one* frame plus a
+/// turn marker; on the client's FIN marker drain the whole outbox,
+/// confirm completion, and append the server's FIN marker.
+///
+/// # Errors
+///
+/// Decode errors and protocol violations as [`serve_contact_link`];
+/// [`Error::Incomplete`] if the client FINs while streams are still
+/// open. The caller must treat any error as poisoning the connection.
+pub fn serve_frame(
+    server: &mut BatchPullServer,
+    frame: wire::Frame,
+    out: &mut BytesMut,
+) -> Result<ServeStep> {
+    if frame.stream != TURN_STREAM {
+        server.on_receive(decode_frame_msg(frame)?)?;
+        return Ok(ServeStep::Continue);
+    }
+    if marker_is_fin(&frame) {
+        while let Some(framed) = server.poll_send() {
+            out.extend_from_slice(&framed.to_bytes());
+        }
+        if !server.is_done() {
+            // The client walked away from open streams. Cut the
+            // connection instead of FIN-ing clean — the puller must
+            // see an aborted contact, not a completed one.
+            return Err(Error::Incomplete {
+                protocol: "tcp contact",
+            });
+        }
+        out.extend_from_slice(&marker_bytes(true));
+        return Ok(ServeStep::Done);
+    }
+    if let Some(framed) = server.poll_send() {
+        out.extend_from_slice(&framed.to_bytes());
+    }
+    out.extend_from_slice(&marker_bytes(false));
+    Ok(ServeStep::Continue)
 }
 
 /// Emits one [`obs::SyncEvent::FrameTx`] with the frame's classified bytes.

@@ -1,19 +1,20 @@
-//! The `optrep` client: one verb against one daemon, then exit.
+//! The `optrep` client: one or more verbs against one daemon over a
+//! single connection, then exit.
 //!
 //! ```text
-//! optrep <daemon-addr> get <key>
-//! optrep <daemon-addr> put <key> <value>
-//! optrep <daemon-addr> delete <key>
-//! optrep <daemon-addr> status
-//! optrep <daemon-addr> digest
-//! optrep <daemon-addr> sync <peer-addr>
+//! optrep <daemon-addr> <verb> [args] [<verb> [args] ...]
+//! verbs: get <key> | put <key> <value> | delete <key> |
+//!        status | digest | sync <peer-addr>
 //! ```
 //!
-//! `sync` asks the daemon at `<daemon-addr>` to pull from
-//! `<peer-addr>` and prints the pull report. `digest` prints the
-//! site-independent replica digest as hex — equal digests across
-//! daemons mean converged replicas. Exit status is 0 on success, 1 on
-//! a failed verb, 2 on usage errors.
+//! Verbs chain: `optrep 127.0.0.1:7701 put a 1 put b 2 status` runs
+//! all three request/response exchanges over the same TCP connection —
+//! the daemon sees one verb session, not three dials. `sync` asks the
+//! daemon to pull from `<peer-addr>` and prints the pull report.
+//! `digest` prints the site-independent replica digest as hex — equal
+//! digests across daemons mean converged replicas. Exit status is 0
+//! when every verb succeeded, 1 on the first failed verb (later verbs
+//! are not run), 2 on usage errors (nothing is run).
 
 use optrep_net::ConnectOptions;
 use optrep_server::Client;
@@ -21,45 +22,73 @@ use std::net::SocketAddr;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: optrep <addr> <verb> [...]\n\
+        "usage: optrep <addr> <verb> [args] [<verb> [args] ...]\n\
          verbs: get <key> | put <key> <value> | delete <key> | \
          status | digest | sync <peer>"
     );
     std::process::exit(2)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (addr, verb, rest) = match args.as_slice() {
-        [addr, verb, rest @ ..] => (addr, verb.as_str(), rest),
-        _ => usage(),
-    };
-    let addr: SocketAddr = addr.parse().unwrap_or_else(|_| {
-        eprintln!("optrep: bad daemon address: {addr}");
-        std::process::exit(2)
-    });
-    let mut client = match Client::connect(addr, &ConnectOptions::default()) {
-        Ok(client) => client,
-        Err(e) => {
-            eprintln!("optrep: cannot reach {addr}: {e}");
-            std::process::exit(1)
-        }
-    };
-    let outcome = match (verb, rest) {
-        ("get", [key]) => client.get(key).map(|value| match value {
+/// One parsed verb; argument counts already validated.
+enum Verb {
+    Get(String),
+    Put(String, String),
+    Delete(String),
+    Status,
+    Digest,
+    Sync(String),
+}
+
+/// Parses the whole command line greedily, verb by verb, so a typo in
+/// the fourth verb is caught before the first one runs.
+fn parse(args: &[String]) -> Option<Vec<Verb>> {
+    let mut verbs = Vec::new();
+    let mut rest = args;
+    while let [verb, tail @ ..] = rest {
+        let (parsed, tail) = match (verb.as_str(), tail) {
+            ("get", [key, tail @ ..]) => (Verb::Get(key.clone()), tail),
+            ("put", [key, value, tail @ ..]) => (Verb::Put(key.clone(), value.clone()), tail),
+            ("delete", [key, tail @ ..]) => (Verb::Delete(key.clone()), tail),
+            ("status", tail) => (Verb::Status, tail),
+            ("digest", tail) => (Verb::Digest, tail),
+            ("sync", [peer, tail @ ..]) => (Verb::Sync(peer.clone()), tail),
+            _ => return None,
+        };
+        verbs.push(parsed);
+        rest = tail;
+    }
+    if verbs.is_empty() {
+        return None;
+    }
+    Some(verbs)
+}
+
+fn run(client: &mut Client, verb: &Verb) -> optrep_core::Result<()> {
+    match verb {
+        Verb::Get(key) => client.get(key).map(|value| match value {
             Some(v) => match std::str::from_utf8(&v) {
                 Ok(text) => println!("{text}"),
                 Err(_) => println!("{v:?}"),
             },
             None => println!("(nil)"),
         }),
-        ("put", [key, value]) => client.put(key, value.clone().into_bytes()),
-        ("delete", [key]) => client.delete(key),
-        ("status", []) => client.status().map(|(site, keys, tracked, generation)| {
-            println!("site {site} keys {keys} tracked {tracked} generation {generation}");
+        Verb::Put(key, value) => client.put(key, value.clone().into_bytes()),
+        Verb::Delete(key) => client.delete(key),
+        Verb::Status => client.status().map(|info| {
+            println!(
+                "site {} keys {} tracked {} generation {} \
+                 conn-dials {} conn-contacts {} conn-live {}",
+                info.site,
+                info.keys,
+                info.tracked,
+                info.generation,
+                info.conn_dials,
+                info.conn_contacts,
+                info.conn_live,
+            );
         }),
-        ("digest", []) => client.digest().map(|digest| println!("{digest:016x}")),
-        ("sync", [peer]) => client.sync(peer).map(|report| {
+        Verb::Digest => client.digest().map(|digest| println!("{digest:016x}")),
+        Verb::Sync(peer) => client.sync(peer).map(|report| {
             println!(
                 "examined {} created {} fast-forwarded {} reconciled {} \
                  unchanged {} meta-bytes {} value-bytes {}",
@@ -72,10 +101,41 @@ fn main() {
                 report.value_bytes,
             );
         }),
-        _ => usage(),
+    }
+}
+
+fn verb_name(verb: &Verb) -> &'static str {
+    match verb {
+        Verb::Get(_) => "get",
+        Verb::Put(..) => "put",
+        Verb::Delete(_) => "delete",
+        Verb::Status => "status",
+        Verb::Digest => "digest",
+        Verb::Sync(_) => "sync",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [addr, rest @ ..] = args.as_slice() else {
+        usage()
     };
-    if let Err(e) = outcome {
-        eprintln!("optrep: {verb} failed: {e}");
-        std::process::exit(1);
+    let Some(verbs) = parse(rest) else { usage() };
+    let addr: SocketAddr = addr.parse().unwrap_or_else(|_| {
+        eprintln!("optrep: bad daemon address: {addr}");
+        std::process::exit(2)
+    });
+    let mut client = match Client::connect(addr, &ConnectOptions::default()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("optrep: cannot reach {addr}: {e}");
+            std::process::exit(1)
+        }
+    };
+    for verb in &verbs {
+        if let Err(e) = run(&mut client, verb) {
+            eprintln!("optrep: {} failed: {e}", verb_name(verb));
+            std::process::exit(1);
+        }
     }
 }

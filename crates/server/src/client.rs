@@ -1,6 +1,6 @@
 //! The `optrep` client: a verb session over one TCP connection.
 
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, StatusInfo};
 use bytes::Bytes;
 use optrep_core::wire::{Handshake, Intent};
 use optrep_core::{Error, Result};
@@ -100,20 +100,15 @@ impl Client {
         }
     }
 
-    /// The daemon's vital signs: `(site, live keys, tracked entries,
-    /// write generation)`.
+    /// The daemon's vital signs, including its outbound peer-connection
+    /// counters (see [`StatusInfo`]).
     ///
     /// # Errors
     ///
     /// As [`Client::get`].
-    pub fn status(&mut self) -> Result<(u32, u64, u64, u64)> {
+    pub fn status(&mut self) -> Result<StatusInfo> {
         match self.request(&Request::Status)? {
-            Response::Status {
-                site,
-                keys,
-                tracked,
-                generation,
-            } => Ok((site, keys, tracked, generation)),
+            Response::Status(info) => Ok(info),
             other => Err(Self::unexpected("status", other)),
         }
     }

@@ -1,40 +1,72 @@
-//! The `optrepd` node: accept loop, verb service, pull service, gossip.
+//! The `optrepd` node: event-driven connection core, verb service,
+//! pull service, persistent peer pulls, gossip.
 //!
 //! A [`Node`] owns one [`KvStore`] behind a mutex and serves it over
 //! real sockets. Every connection opens with a
 //! [`Handshake`](wire::Handshake) frame; its
 //! [`Intent`](wire::Intent) selects the service:
 //!
-//! * **Verbs** — a request/response loop speaking [`proto`](crate::proto)
-//!   on the control stream (`get`/`put`/`delete`/`status`/`digest`/`sync`).
-//! * **Pull** — the connector drives a batched anti-entropy contact as
-//!   the pulling side; this node snapshots a
-//!   [`server_endpoint`](KvStore::server_endpoint) and serves it through
-//!   [`serve_contact_link`], never holding the store lock during network
-//!   I/O.
+//! * **Verbs** — a request/response exchange speaking
+//!   [`proto`](crate::proto) on the control stream
+//!   (`get`/`put`/`delete`/`status`/`digest`/`sync`).
+//! * **Pull** — the connector drives one batched anti-entropy contact
+//!   as the pulling side and the connection ends with it.
+//! * **Peer** — a persistent pulling connection: successive contacts
+//!   pipeline over the same socket, each served from a fresh
+//!   [`server_endpoint`](KvStore::server_endpoint) snapshot taken at
+//!   its first frame.
 //!
-//! Outbound pulls ([`Node::sync_with`], and the periodic gossip thread)
-//! run the generation-checked discipline `KvStore::generation` was built
-//! for: snapshot the client endpoint under the lock, release it for the
-//! whole network exchange, re-lock and commit only if no local write
-//! raced the pull — otherwise retry against fresh metadata. A connection
-//! that dies mid-contact therefore aborts before anything is staged,
-//! leaving the store byte-identical.
+//! On unix, all connections are multiplexed onto **one event thread**:
+//! a `poll(2)` loop (see `optrep_net::reactor`) drives per-connection
+//! state machines (`Handshake → Verbs | Serve → Closing`), so the
+//! daemon's thread count is fixed — event loop, optional gossip thread,
+//! and one lazily started executor for blocking verbs — no matter how
+//! many hundreds of peers are connected. Cheap verbs and contact frames
+//! are handled inline on the event thread (the store lock is held only
+//! for in-memory work, never across socket I/O); the `sync` verb, which
+//! performs a network pull, runs on the executor so it cannot stall the
+//! loop. Accept errors back off exponentially up to a cap instead of
+//! hot-looping. Non-unix builds keep a thread-per-connection fallback
+//! with the same wire behavior.
+//!
+//! Outbound pulls ([`Node::sync_with`], the `sync` verb, and the
+//! periodic gossip thread) draw persistent connections from a
+//! [`ConnPool`]: the first pull to a peer dials and handshakes
+//! ([`Intent::Peer`]) once, and every later pull pipelines over that
+//! socket; a stale pooled connection is discarded and redialed once,
+//! folding reconnects into the callers' existing retry schedules. Each
+//! pull runs the generation-checked discipline `KvStore::generation`
+//! was built for: snapshot the client endpoint under the lock, release
+//! it for the whole network exchange, re-lock and commit only if no
+//! local write raced the pull — otherwise retry against fresh metadata.
+//! A connection that dies mid-contact therefore aborts before anything
+//! is staged, leaving the store byte-identical.
 
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, StatusInfo};
 use optrep_core::obs::{self, Sink};
 use optrep_core::wire::{Handshake, Intent};
 use optrep_core::{Error, Result, SiteId};
 use optrep_kv::{JoinResolver, KvStore, KvSyncReport};
-use optrep_net::{ConnectOptions, TcpLink};
-use optrep_replication::{run_contact_link, serve_contact_link, RetryPolicy, CONTROL_STREAM};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use optrep_net::{ConnPool, ConnectOptions};
+use optrep_replication::{
+    run_contact_pipelined, serve_frame, BatchPullServer, RetryPolicy, ServeStep, CONTROL_STREAM,
+};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-/// How often the accept loop polls for shutdown between connections.
+/// Shutdown-poll slice for gossip sleeps (and the non-unix accept poll).
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// First backoff after a transient accept error; doubles per
+/// consecutive error up to [`ACCEPT_BACKOFF_CAP`].
+const ACCEPT_BACKOFF_BASE: Duration = Duration::from_millis(5);
+
+/// Upper bound on the accept-error backoff: a persistent error
+/// condition (fd exhaustion, say) retries at this period instead of
+/// spinning.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(500);
 
 /// How many times an outbound pull retries after racing a local write
 /// (the exchange itself succeeded; only the commit was stale).
@@ -105,8 +137,17 @@ impl NodeConfig {
     }
 }
 
-/// State shared between the accept loop, connection handlers, the
-/// gossip thread, and the owning [`Node`] handle.
+/// A finished blocking verb on its way back from the executor to the
+/// event loop, addressed by connection id.
+#[cfg(unix)]
+struct VerbDone {
+    conn: u64,
+    stream: u64,
+    response: Response,
+}
+
+/// State shared between the connection core, the executor, the gossip
+/// thread, and the owning [`Node`] handle.
 struct Shared {
     site: SiteId,
     store: Mutex<KvStore>,
@@ -114,11 +155,21 @@ struct Shared {
     peers: Vec<SocketAddr>,
     retry: RetryPolicy,
     connect: ConnectOptions,
+    /// Persistent outbound peer connections; every pull pipelines over
+    /// a pooled socket instead of dialing fresh.
+    pool: ConnPool,
     shutdown: AtomicBool,
     /// Obs sinks captured at [`Node::start`]; re-installed on every
     /// spawned thread (shared `Arc`s, as the engine's wave workers do)
     /// so socket-driven contacts trace into the starter's aggregators.
     sinks: Vec<Arc<dyn Sink>>,
+    /// Wakes the event loop from other threads: executor completions
+    /// and [`Node::stop`].
+    #[cfg(unix)]
+    waker: optrep_net::reactor::Waker,
+    /// Finished executor verbs awaiting delivery by the event loop.
+    #[cfg(unix)]
+    completions: Mutex<Vec<VerbDone>>,
 }
 
 impl Shared {
@@ -127,6 +178,14 @@ impl Shared {
     /// a handler that panicked elsewhere must not wedge the daemon.
     fn store(&self) -> MutexGuard<'_, KvStore> {
         match self.store.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[cfg(unix)]
+    fn completions(&self) -> MutexGuard<'_, Vec<VerbDone>> {
+        match self.completions.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -144,13 +203,14 @@ impl Shared {
 pub struct Node {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: Option<std::thread::JoinHandle<()>>,
+    core: Option<std::thread::JoinHandle<()>>,
     gossip: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Node {
-    /// Binds the listener and starts the accept loop (and the gossip
-    /// thread, if configured). Returns once the node is reachable.
+    /// Binds the listener and starts the connection core (and the
+    /// gossip thread, if configured). Returns once the node is
+    /// reachable.
     ///
     /// # Errors
     ///
@@ -173,6 +233,11 @@ impl Node {
                 protocol: "daemon",
                 message: format!("cannot poll listener: {e}"),
             })?;
+        #[cfg(unix)]
+        let waker = optrep_net::reactor::Waker::new().map_err(|e| Error::UnexpectedMessage {
+            protocol: "daemon",
+            message: format!("cannot create event waker: {e}"),
+        })?;
         let shared = Arc::new(Shared {
             site: config.site,
             store: Mutex::new(KvStore::new(config.site)),
@@ -180,12 +245,23 @@ impl Node {
             peers: config.peers,
             retry: config.retry,
             connect: config.connect,
+            pool: ConnPool::new(config.site.index(), config.connect),
             shutdown: AtomicBool::new(false),
             sinks: obs::installed(),
+            #[cfg(unix)]
+            waker,
+            #[cfg(unix)]
+            completions: Mutex::new(Vec::new()),
         });
-        let accept = {
+        #[cfg(unix)]
+        let core = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&shared, &listener))
+            std::thread::spawn(move || event::event_loop(&shared, &listener))
+        };
+        #[cfg(not(unix))]
+        let core = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || threaded::accept_loop(&shared, &listener))
         };
         let gossip = config.gossip_interval.map(|interval| {
             let shared = Arc::clone(&shared);
@@ -194,7 +270,7 @@ impl Node {
         Ok(Node {
             shared,
             addr,
-            accept: Some(accept),
+            core: Some(core),
             gossip,
         })
     }
@@ -220,7 +296,14 @@ impl Node {
         self.shared.store().replica_digest()
     }
 
-    /// Pulls from `peer` right now, exactly as the `sync` verb does.
+    /// This node's outbound peer-connection counters, summed over all
+    /// peers (what the `status` verb reports in its `conn_*` fields).
+    pub fn conn_totals(&self) -> optrep_net::PoolStats {
+        self.shared.pool.totals()
+    }
+
+    /// Pulls from `peer` right now, exactly as the `sync` verb does,
+    /// over this node's pooled persistent connection to that peer.
     ///
     /// # Errors
     ///
@@ -232,22 +315,21 @@ impl Node {
 
     /// Blocks until the node is stopped.
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(core) = self.core.take() {
+            let _ = core.join();
         }
         if let Some(gossip) = self.gossip.take() {
             let _ = gossip.join();
         }
     }
 
-    /// Stops the accept and gossip threads and waits for them.
-    ///
-    /// In-flight connection handlers are not joined: they observe the
-    /// shutdown flag at their next read deadline and exit on their own.
+    /// Stops the connection core and gossip threads and waits for them.
     pub fn stop(mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        #[cfg(unix)]
+        self.shared.waker.wake();
+        if let Some(core) = self.core.take() {
+            let _ = core.join();
         }
         if let Some(gossip) = self.gossip.take() {
             let _ = gossip.join();
@@ -255,80 +337,543 @@ impl Node {
     }
 }
 
-/// Accepts connections until shutdown, one handler thread each.
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
-    loop {
-        if shared.stopping() {
+/// The readiness-driven connection core (unix).
+///
+/// One thread owns the listener and every accepted connection. Each
+/// connection is a small state machine fed whole frames by a
+/// [`FrameDecoder`](wire::FrameDecoder); output is buffered per
+/// connection and flushed as the socket accepts it, with `POLLOUT`
+/// interest only while a buffer is nonempty. The loop never blocks on
+/// any single connection, and it never sleeps to poll a condition —
+/// every wait is a `poll(2)` with a deadline.
+#[cfg(unix)]
+mod event {
+    use super::*;
+    use bytes::BytesMut;
+    use optrep_core::wire::{self, FrameDecoder};
+    use optrep_net::reactor::{capped_poll_backoff, poll_ready, Interest};
+    use std::collections::HashMap;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::os::unix::io::AsRawFd;
+    use std::sync::mpsc;
+    use std::time::Instant;
+
+    /// Poll deadline when nothing else bounds it, so the loop re-checks
+    /// the shutdown flag even if no fd ever fires (belt to the waker's
+    /// suspenders).
+    const IDLE_POLL: Duration = Duration::from_millis(500);
+
+    /// Read buffer per wakeup; matches `TcpLink`'s.
+    const READ_BUF: usize = 8 * 1024;
+
+    /// Where one connection is in its life.
+    enum ConnState {
+        /// Waiting for the opening handshake frame.
+        Handshake,
+        /// A verb session; each request frame yields one response frame.
+        Verbs,
+        /// Serving anti-entropy contacts as the pulled-from side.
+        /// `server` is `None` between contacts on a persistent
+        /// connection; a fresh store snapshot is taken at the first
+        /// frame of each contact.
+        Serve {
+            server: Option<BatchPullServer>,
+            persistent: bool,
+        },
+        /// Done; close once the write buffer drains.
+        Closing,
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        decoder: FrameDecoder,
+        out: BytesMut,
+        state: ConnState,
+        /// A blocking verb is on the executor: frames already received
+        /// stay queued in the decoder and the socket is dropped from
+        /// read interest (TCP backpressure does the rest) until the
+        /// response comes back.
+        busy: bool,
+        dead: bool,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream) -> Conn {
+            Conn {
+                stream,
+                decoder: FrameDecoder::new(),
+                out: BytesMut::new(),
+                state: ConnState::Handshake,
+                busy: false,
+                dead: false,
+            }
+        }
+
+        fn done(&self) -> bool {
+            self.dead || (matches!(self.state, ConnState::Closing) && self.out.is_empty())
+        }
+    }
+
+    /// A verb handed off the event thread (only `sync` qualifies — it
+    /// blocks on a network pull).
+    struct Job {
+        conn: u64,
+        stream: u64,
+        request: Request,
+    }
+
+    /// The lazily started single worker for blocking verbs. One worker
+    /// is enough: concurrent `sync` verbs would race each other's
+    /// generation checks anyway, and the thread count stays fixed.
+    struct Executor {
+        tx: mpsc::Sender<Job>,
+    }
+
+    fn spawn_executor(shared: &Arc<Shared>) -> Executor {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            obs::with_all(shared.sinks.clone(), || {
+                while let Ok(job) = rx.recv() {
+                    let response = handle_request(&shared, job.request);
+                    shared.completions().push(VerbDone {
+                        conn: job.conn,
+                        stream: job.stream,
+                        response,
+                    });
+                    shared.waker.wake();
+                }
+            });
+        });
+        Executor { tx }
+    }
+
+    pub(super) fn event_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+        obs::with_all(shared.sinks.clone(), || run(shared, listener));
+    }
+
+    fn run(shared: &Arc<Shared>, listener: &TcpListener) {
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_id: u64 = 0;
+        let mut exec: Option<Executor> = None;
+        let mut accept_errors: u32 = 0;
+        let mut accept_retry_at: Option<Instant> = None;
+
+        loop {
+            if shared.stopping() {
+                return;
+            }
+
+            // Deliver finished executor verbs, then resume parsing any
+            // frames the connection queued while it was busy.
+            let done: Vec<VerbDone> = std::mem::take(&mut *shared.completions());
+            for verb in done {
+                if let Some(conn) = conns.get_mut(&verb.conn) {
+                    conn.busy = false;
+                    push_response(conn, verb.stream, &verb.response);
+                    process(shared, verb.conn, conn, &mut exec);
+                    flush(conn);
+                }
+            }
+            conns.retain(|_, conn| !conn.done());
+
+            // Assemble the poll set: waker, listener (unless accept
+            // errors have it in backoff), then every connection.
+            let now = Instant::now();
+            if accept_retry_at.is_some_and(|at| now >= at) {
+                accept_retry_at = None;
+            }
+            let mut fds = Vec::with_capacity(conns.len() + 2);
+            fds.push((shared.waker.fd(), Interest::READ));
+            let listener_slot = if accept_retry_at.is_none() {
+                fds.push((listener.as_raw_fd(), Interest::READ));
+                Some(fds.len() - 1)
+            } else {
+                None
+            };
+            let base = fds.len();
+            let ids: Vec<u64> = conns.keys().copied().collect();
+            for id in &ids {
+                let conn = &conns[id];
+                fds.push((
+                    conn.stream.as_raw_fd(),
+                    Interest {
+                        readable: !conn.busy,
+                        writable: !conn.out.is_empty(),
+                    },
+                ));
+            }
+            let timeout = match accept_retry_at {
+                Some(at) => at.saturating_duration_since(now).min(IDLE_POLL),
+                None => IDLE_POLL,
+            };
+            let Ok((_, ready)) = poll_ready(&fds, Some(timeout)) else {
+                // poll(2) itself failed (fd exhaustion). Breathe and
+                // retry; connections are still intact.
+                std::thread::sleep(ACCEPT_BACKOFF_BASE);
+                continue;
+            };
+            if shared.stopping() {
+                return;
+            }
+            if ready[0].readable {
+                shared.waker.drain();
+            }
+            if listener_slot.is_some_and(|slot| ready[slot].readable) {
+                accept_all(
+                    listener,
+                    &mut conns,
+                    &mut next_id,
+                    &mut accept_errors,
+                    &mut accept_retry_at,
+                );
+            }
+            for (slot, id) in ids.iter().enumerate() {
+                let readiness = ready[base + slot];
+                let Some(conn) = conns.get_mut(id) else {
+                    continue;
+                };
+                if readiness.readable {
+                    let open = read_into(conn);
+                    process(shared, *id, conn, &mut exec);
+                    if !open {
+                        flush(conn);
+                        conn.dead = true;
+                    }
+                } else if readiness.error {
+                    conn.dead = true;
+                }
+                if !conn.dead && !conn.out.is_empty() {
+                    flush(conn);
+                }
+            }
+            conns.retain(|_, conn| !conn.done());
+        }
+    }
+
+    /// Drains the accept queue. A transient accept error (aborted
+    /// handshake, fd pressure) puts the listener into capped
+    /// exponential backoff — it leaves the poll set until the deadline
+    /// — instead of the loop spinning on a hot error.
+    fn accept_all(
+        listener: &TcpListener,
+        conns: &mut HashMap<u64, Conn>,
+        next_id: &mut u64,
+        accept_errors: &mut u32,
+        accept_retry_at: &mut Option<Instant>,
+    ) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    *accept_errors = 0;
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    *next_id += 1;
+                    conns.insert(*next_id, Conn::new(stream));
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    let backoff = capped_poll_backoff(
+                        *accept_errors,
+                        ACCEPT_BACKOFF_BASE,
+                        ACCEPT_BACKOFF_CAP,
+                    );
+                    *accept_errors = accept_errors.saturating_add(1);
+                    *accept_retry_at = Some(Instant::now() + backoff);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Reads until the socket would block, feeding the frame decoder.
+    /// Returns `false` on EOF or a socket error — frames already
+    /// decoded are still processed, then the connection dies.
+    fn read_into(conn: &mut Conn) -> bool {
+        let mut buf = [0u8; READ_BUF];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => return false,
+                Ok(n) => conn.decoder.push(&buf[..n]),
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Runs decoded frames through the connection's state machine until
+    /// the decoder runs dry or the connection blocks (busy verb, done,
+    /// dead).
+    fn process(shared: &Arc<Shared>, id: u64, conn: &mut Conn, exec: &mut Option<Executor>) {
+        while !conn.busy && !conn.dead && !matches!(conn.state, ConnState::Closing) {
+            let frame = match conn.decoder.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            };
+            on_frame(shared, id, conn, frame, exec);
+        }
+    }
+
+    /// Advances one connection state machine by one frame.
+    fn on_frame(
+        shared: &Arc<Shared>,
+        id: u64,
+        conn: &mut Conn,
+        frame: wire::Frame,
+        exec: &mut Option<Executor>,
+    ) {
+        match &mut conn.state {
+            ConnState::Handshake => {
+                if frame.stream != CONTROL_STREAM {
+                    conn.dead = true;
+                    return;
+                }
+                let mut payload = frame.payload;
+                match Handshake::decode(&mut payload) {
+                    Ok(handshake) => {
+                        conn.state = match handshake.intent {
+                            Intent::Verbs => ConnState::Verbs,
+                            Intent::Pull => ConnState::Serve {
+                                server: Some(shared.store().server_endpoint()),
+                                persistent: false,
+                            },
+                            Intent::Peer => ConnState::Serve {
+                                server: None,
+                                persistent: true,
+                            },
+                        };
+                    }
+                    Err(_) => conn.dead = true,
+                }
+            }
+            ConnState::Verbs => {
+                let stream = frame.stream;
+                let mut payload = frame.payload;
+                match Request::decode(&mut payload) {
+                    // `sync` blocks on a network pull; it runs on the
+                    // executor so the event loop keeps turning.
+                    Ok(request @ Request::Sync { .. }) => {
+                        conn.busy = true;
+                        let exec = exec.get_or_insert_with(|| spawn_executor(shared));
+                        if exec
+                            .tx
+                            .send(Job {
+                                conn: id,
+                                stream,
+                                request,
+                            })
+                            .is_err()
+                        {
+                            conn.dead = true;
+                        }
+                    }
+                    Ok(request) => {
+                        let response = handle_request(shared, request);
+                        push_response(conn, stream, &response);
+                    }
+                    Err(e) => {
+                        push_response(conn, stream, &Response::Err(format!("bad request: {e}")));
+                    }
+                }
+            }
+            ConnState::Serve { server, persistent } => {
+                let endpoint = server.get_or_insert_with(|| shared.store().server_endpoint());
+                match serve_frame(endpoint, frame, &mut conn.out) {
+                    Ok(ServeStep::Continue) => {}
+                    Ok(ServeStep::Done) => {
+                        if *persistent {
+                            *server = None;
+                        } else {
+                            conn.state = ConnState::Closing;
+                        }
+                    }
+                    Err(_) => conn.dead = true,
+                }
+            }
+            ConnState::Closing => {}
+        }
+    }
+
+    /// Encodes one response frame onto the connection's write buffer.
+    fn push_response(conn: &mut Conn, stream: u64, response: &Response) {
+        let payload = response.encode();
+        wire::put_frame(&mut conn.out, stream, &payload);
+    }
+
+    /// Writes as much of the buffered output as the socket accepts now;
+    /// the remainder keeps `POLLOUT` interest for the next round.
+    fn flush(conn: &mut Conn) {
+        while !conn.out.is_empty() {
+            match conn.stream.write(&conn.out) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    let _ = conn.out.split_to(n);
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Thread-per-connection fallback for non-unix targets: same wire
+/// behavior (including persistent `Peer` connections and capped accept
+/// backoff), one handler thread per accepted socket.
+#[cfg(not(unix))]
+mod threaded {
+    use super::*;
+    use bytes::BytesMut;
+    use optrep_net::TcpLink;
+    use std::net::TcpStream;
+
+    pub(super) fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+        let mut accept_errors: u32 = 0;
+        loop {
+            if shared.stopping() {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accept_errors = 0;
+                    let shared = Arc::clone(shared);
+                    std::thread::spawn(move || {
+                        obs::with_all(shared.sinks.clone(), || handle_connection(&shared, stream));
+                    });
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                // Transient accept errors (aborted handshake, fd
+                // pressure): back off exponentially up to the cap so a
+                // persistent condition doesn't spin the loop.
+                Err(_) => {
+                    let factor = 1u32 << accept_errors.min(16);
+                    accept_errors = accept_errors.saturating_add(1);
+                    std::thread::sleep(
+                        ACCEPT_BACKOFF_BASE
+                            .saturating_mul(factor)
+                            .min(ACCEPT_BACKOFF_CAP),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reads the handshake and dispatches one connection. All errors
+    /// are terminal for the connection only: the peer sees a FIN or
+    /// reset and takes its own abort path.
+    fn handle_connection(shared: &Shared, stream: TcpStream) {
+        let Ok(mut link) = TcpLink::from_stream(stream, &shared.connect) else {
+            return;
+        };
+        let Ok(frame) = link.recv_frame() else {
+            return;
+        };
+        if frame.stream != CONTROL_STREAM {
             return;
         }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let shared = Arc::clone(shared);
-                std::thread::spawn(move || {
-                    obs::with_all(shared.sinks.clone(), || handle_connection(&shared, stream));
-                });
-            }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            // Transient accept errors (aborted handshake, fd pressure):
-            // keep serving; a broken listener shows up as a spin here,
-            // not a crash.
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-/// Reads the handshake and dispatches one connection. All errors are
-/// terminal for the connection only: the peer sees a FIN or reset and
-/// takes its own abort path.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let Ok(mut link) = TcpLink::from_stream(stream, &shared.connect) else {
-        return;
-    };
-    let Ok(frame) = link.recv_frame() else {
-        return;
-    };
-    if frame.stream != CONTROL_STREAM {
-        return;
-    }
-    let mut payload = frame.payload;
-    let Ok(handshake) = Handshake::decode(&mut payload) else {
-        return;
-    };
-    match handshake.intent {
-        Intent::Pull => serve_pull(shared, &mut link),
-        Intent::Verbs => serve_verbs(shared, &mut link),
-    }
-}
-
-/// Serves one anti-entropy pull: snapshot the serving endpoint under
-/// the lock, then run the whole exchange without it. A pull never
-/// modifies the serving store, so concurrent local writes simply miss
-/// this contact and ride the next one.
-fn serve_pull(shared: &Shared, link: &mut TcpLink) {
-    let mut server = shared.store().server_endpoint();
-    let _ = serve_contact_link(&mut server, link);
-}
-
-/// Serves one verb session: one request frame in, one response frame
-/// out, until the client disconnects.
-fn serve_verbs(shared: &Shared, link: &mut TcpLink) {
-    loop {
-        let frame = match link.recv_frame() {
-            Ok(frame) => frame,
-            // A read deadline on an idle session is not an error; it is
-            // the shutdown poll.
-            Err(Error::Incomplete { .. }) if !shared.stopping() => continue,
-            Err(_) => return,
-        };
         let mut payload = frame.payload;
-        let response = match Request::decode(&mut payload) {
-            Ok(request) => handle_request(shared, request),
-            Err(e) => Response::Err(format!("bad request: {e}")),
-        };
-        if link.send_frame(frame.stream, &response.encode()).is_err() {
+        let Ok(handshake) = Handshake::decode(&mut payload) else {
             return;
+        };
+        match handshake.intent {
+            Intent::Pull => serve_pull(shared, &mut link),
+            Intent::Peer => serve_peer(shared, &mut link),
+            Intent::Verbs => serve_verbs(shared, &mut link),
+        }
+    }
+
+    /// Serves one anti-entropy pull: snapshot the serving endpoint
+    /// under the lock, then run the whole exchange without it.
+    fn serve_pull(shared: &Shared, link: &mut TcpLink) {
+        let mut server = Some(shared.store().server_endpoint());
+        let mut out = BytesMut::new();
+        let _ = serve_frames(shared, link, &mut server, &mut out, true);
+    }
+
+    /// Serves pipelined contacts on a persistent peer connection: a
+    /// fresh store snapshot per contact, the socket kept open between
+    /// them. An idle read timeout between contacts is not an error.
+    fn serve_peer(shared: &Shared, link: &mut TcpLink) {
+        let mut server: Option<BatchPullServer> = None;
+        let mut out = BytesMut::new();
+        loop {
+            match serve_frames(shared, link, &mut server, &mut out, false) {
+                Ok(()) if !shared.stopping() => continue,
+                _ => return,
+            }
+        }
+    }
+
+    /// Pumps frames through [`serve_frame`] until one contact
+    /// completes. `server = None` means between contacts; the snapshot
+    /// is taken at the first frame.
+    fn serve_frames(
+        shared: &Shared,
+        link: &mut TcpLink,
+        server: &mut Option<BatchPullServer>,
+        out: &mut BytesMut,
+        fin_on_done: bool,
+    ) -> Result<()> {
+        loop {
+            let frame = match link.recv_frame() {
+                Ok(frame) => frame,
+                // Idle between contacts: the read deadline is just the
+                // shutdown poll. Mid-contact it is a real stall.
+                Err(Error::Incomplete { .. }) if server.is_none() && !shared.stopping() => {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let endpoint = server.get_or_insert_with(|| shared.store().server_endpoint());
+            out.clear();
+            let step = serve_frame(endpoint, frame, out).inspect_err(|_| link.fin())?;
+            if !out.is_empty() {
+                link.send_bytes(out)?;
+            }
+            if matches!(step, ServeStep::Done) {
+                *server = None;
+                if fin_on_done {
+                    link.fin();
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serves one verb session: one request frame in, one response
+    /// frame out, until the client disconnects.
+    fn serve_verbs(shared: &Shared, link: &mut TcpLink) {
+        loop {
+            let frame = match link.recv_frame() {
+                Ok(frame) => frame,
+                // A read deadline on an idle session is not an error;
+                // it is the shutdown poll.
+                Err(Error::Incomplete { .. }) if !shared.stopping() => continue,
+                Err(_) => return,
+            };
+            let mut payload = frame.payload;
+            let response = match Request::decode(&mut payload) {
+                Ok(request) => handle_request(shared, request),
+                Err(e) => Response::Err(format!("bad request: {e}")),
+            };
+            if link.send_frame(frame.stream, &response.encode()).is_err() {
+                return;
+            }
         }
     }
 }
@@ -349,13 +894,24 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             Response::Ok
         }
         Request::Status => {
-            let store = shared.store();
-            Response::Status {
+            let (keys, tracked, generation) = {
+                let store = shared.store();
+                (
+                    store.len() as u64,
+                    store.tracked_entries() as u64,
+                    store.generation(),
+                )
+            };
+            let totals = shared.pool.totals();
+            Response::Status(StatusInfo {
                 site: shared.site.index(),
-                keys: store.len() as u64,
-                tracked: store.tracked_entries() as u64,
-                generation: store.generation(),
-            }
+                keys,
+                tracked,
+                generation,
+                conn_dials: totals.dials,
+                conn_contacts: totals.contacts,
+                conn_live: shared.pool.live() as u64,
+            })
         }
         Request::Digest => Response::Digest(shared.store().replica_digest()),
         Request::Sync { peer } => match peer.parse::<SocketAddr>() {
@@ -368,27 +924,29 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
     }
 }
 
-/// One generation-checked pull from `peer`.
+/// One generation-checked pull from `peer`, over the pooled persistent
+/// connection to it.
 ///
-/// The client endpoint is a snapshot of this store's metadata; the
-/// whole network exchange runs without the store lock. Before
-/// committing, the store's write generation is compared with the
-/// snapshot's: if a local write (or another pull) landed in between,
-/// the staged outcomes describe a store that no longer exists, so the
-/// pull is retried against fresh metadata instead of committed —
-/// bounded by [`APPLY_RACE_RETRIES`].
+/// The pool hands back the peer's long-lived socket (dialing and
+/// handshaking only if there is none yet); the contact runs pipelined —
+/// no FIN, the connection stays checked in for the next pull. The
+/// client endpoint is snapshotted *inside* the pooled closure so a
+/// stale-connection rerun gets fresh metadata. Before committing, the
+/// store's write generation is compared with the snapshot's: if a local
+/// write (or another pull) landed in between, the staged outcomes
+/// describe a store that no longer exists, so the pull is retried
+/// against fresh metadata instead of committed — bounded by
+/// [`APPLY_RACE_RETRIES`].
 fn pull_from(shared: &Shared, peer: SocketAddr) -> Result<KvSyncReport> {
     for _ in 0..APPLY_RACE_RETRIES {
-        let (generation, mut client) = {
-            let store = shared.store();
-            (store.generation(), store.client_endpoint())
-        };
-        let mut link = TcpLink::connect(peer, &shared.connect)?;
-        link.send_frame(
-            CONTROL_STREAM,
-            &Handshake::new(shared.site.index(), Intent::Pull).encode(),
-        )?;
-        let report = run_contact_link(&mut client, &mut link)?;
+        let (generation, client, report) = shared.pool.with_conn(peer, |link| {
+            let (generation, mut client) = {
+                let store = shared.store();
+                (store.generation(), store.client_endpoint())
+            };
+            let report = run_contact_pipelined(&mut client, link)?;
+            Ok((generation, client, report))
+        })?;
         let mut store = shared.store();
         if store.generation() != generation {
             continue;

@@ -44,6 +44,30 @@ pub enum Request {
     },
 }
 
+/// The daemon's vital signs, answered to a `Status` verb.
+///
+/// Beyond store shape, it carries the daemon's outbound peer-connection
+/// counters so operators (and `smoke_cluster.sh`) can verify that
+/// repeated pulls to the same peer pipeline over one persistent
+/// connection: `conn_dials` stays put while `conn_contacts` grows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// The daemon's site id.
+    pub site: u32,
+    /// Live (non-tombstoned) keys.
+    pub keys: u64,
+    /// Tracked entries including tombstones.
+    pub tracked: u64,
+    /// The store's write generation.
+    pub generation: u64,
+    /// Outbound peer sockets ever dialed (sum over peers).
+    pub conn_dials: u64,
+    /// Contacts completed over pooled peer connections (sum over peers).
+    pub conn_contacts: u64,
+    /// Peers with a live pooled connection right now.
+    pub conn_live: u64,
+}
+
 /// The daemon's answer to one [`Request`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -52,16 +76,7 @@ pub enum Response {
     /// `Put`/`Delete` acknowledged.
     Ok,
     /// `Status` result.
-    Status {
-        /// The daemon's site id.
-        site: u32,
-        /// Live (non-tombstoned) keys.
-        keys: u64,
-        /// Tracked entries including tombstones.
-        tracked: u64,
-        /// The store's write generation.
-        generation: u64,
-    },
+    Status(StatusInfo),
     /// `Digest` result ([`optrep_kv::KvStore::replica_digest`]).
     Digest(u64),
     /// `Sync` completed with this pull report.
@@ -169,17 +184,15 @@ impl Response {
                 }
             }
             Response::Ok => buf.put_u8(RESP_OK),
-            Response::Status {
-                site,
-                keys,
-                tracked,
-                generation,
-            } => {
+            Response::Status(info) => {
                 buf.put_u8(RESP_STATUS);
-                wire::put_varint(&mut buf, u64::from(*site));
-                wire::put_varint(&mut buf, *keys);
-                wire::put_varint(&mut buf, *tracked);
-                wire::put_varint(&mut buf, *generation);
+                wire::put_varint(&mut buf, u64::from(info.site));
+                wire::put_varint(&mut buf, info.keys);
+                wire::put_varint(&mut buf, info.tracked);
+                wire::put_varint(&mut buf, info.generation);
+                wire::put_varint(&mut buf, info.conn_dials);
+                wire::put_varint(&mut buf, info.conn_contacts);
+                wire::put_varint(&mut buf, info.conn_live);
             }
             Response::Digest(digest) => {
                 buf.put_u8(RESP_DIGEST);
@@ -234,12 +247,15 @@ impl Response {
                 if site > u64::from(u32::MAX) {
                     return Err(WireError::InvalidPayload);
                 }
-                Response::Status {
+                Response::Status(StatusInfo {
                     site: site as u32,
                     keys: wire::get_varint(buf)?,
                     tracked: wire::get_varint(buf)?,
                     generation: wire::get_varint(buf)?,
-                }
+                    conn_dials: wire::get_varint(buf)?,
+                    conn_contacts: wire::get_varint(buf)?,
+                    conn_live: wire::get_varint(buf)?,
+                })
             }
             RESP_DIGEST => Response::Digest(wire::get_varint(buf)?),
             RESP_SYNCED => {
@@ -298,12 +314,15 @@ mod tests {
             Response::Value(None),
             Response::Value(Some(Bytes::from_static(b"hello"))),
             Response::Ok,
-            Response::Status {
+            Response::Status(StatusInfo {
                 site: 3,
                 keys: 10,
                 tracked: 12,
                 generation: 99,
-            },
+                conn_dials: 1,
+                conn_contacts: 41,
+                conn_live: 1,
+            }),
             Response::Digest(u64::MAX),
             Response::Synced(KvSyncReport {
                 keys_examined: 5,

@@ -119,14 +119,18 @@ fn verbs_roundtrip_over_the_wire() {
     assert_eq!(client.get("missing").expect("get"), None);
     client.put("k", &b"v1"[..]).expect("put");
     assert_eq!(client.get("k").expect("get").as_deref(), Some(&b"v1"[..]));
-    let (site, keys, tracked, generation) = client.status().expect("status");
-    assert_eq!(site, 7);
-    assert_eq!((keys, tracked), (1, 1));
-    assert!(generation > 0);
+    let status = client.status().expect("status");
+    assert_eq!(status.site, 7);
+    assert_eq!((status.keys, status.tracked), (1, 1));
+    assert!(status.generation > 0);
     client.delete("k").expect("delete");
     assert_eq!(client.get("k").expect("get"), None);
-    let (_, keys, tracked, _) = client.status().expect("status");
-    assert_eq!((keys, tracked), (0, 1), "tombstones stay tracked");
+    let status = client.status().expect("status");
+    assert_eq!(
+        (status.keys, status.tracked),
+        (0, 1),
+        "tombstones stay tracked"
+    );
     assert_eq!(client.digest().expect("digest"), node.digest());
     node.stop();
 }
@@ -210,6 +214,65 @@ fn dead_peer_leaves_survivor_metadata_untouched() {
     survivor.with_store(|s| assert_eq!(s.get("fresh"), Some(&b"peer"[..])));
     survivor.stop();
     healthy.stop();
+}
+
+#[test]
+fn repeated_syncs_reuse_one_peer_connection() {
+    let dst = start_node(0);
+    let src = start_node(1);
+    for i in 0..6 {
+        src.with_store(|s| s.put(format!("k{i}"), "v"));
+        dst.sync_with(src.addr()).expect("pull");
+    }
+    let totals = dst.conn_totals();
+    assert_eq!(totals.dials, 1, "every pull must pipeline over one socket");
+    assert!(totals.contacts >= 6, "contacts: {}", totals.contacts);
+    assert_eq!(totals.discards, 0);
+    // The status verb reports the same counters over the wire — this is
+    // what smoke_cluster.sh asserts from the shell.
+    let mut client = Client::connect(dst.addr(), &fast_connect()).expect("connect");
+    let status = client.status().expect("status");
+    assert_eq!(status.conn_dials, 1);
+    assert!(status.conn_contacts >= 6);
+    assert_eq!(status.conn_live, 1);
+    dst.stop();
+    src.stop();
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("proc")
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .expect("Threads line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+/// The event-driven core's whole point: connections are states in one
+/// loop, not threads. Tolerate a little drift from concurrently running
+/// tests — a thread-per-connection regression would add ~64.
+#[cfg(target_os = "linux")]
+#[test]
+fn daemon_thread_count_is_independent_of_connections() {
+    let node = start_node(9);
+    let mut warm = Client::connect(node.addr(), &fast_connect()).expect("connect");
+    warm.put("k", &b"v"[..]).expect("put");
+    let before = thread_count();
+    let mut clients: Vec<Client> = (0..64)
+        .map(|_| Client::connect(node.addr(), &fast_connect()).expect("connect"))
+        .collect();
+    for client in &mut clients {
+        assert_eq!(client.get("k").expect("get").as_deref(), Some(&b"v"[..]));
+    }
+    let during = thread_count();
+    assert!(
+        during <= before + 4,
+        "64 connections grew the process from {before} to {during} threads"
+    );
+    node.stop();
 }
 
 #[test]

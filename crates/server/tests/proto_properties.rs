@@ -1,0 +1,135 @@
+//! Property tests for the `optrep` verb protocol: arbitrary requests
+//! and responses round-trip exactly, every strict prefix of a valid
+//! encoding is rejected (the daemon sees truncated frames whenever a
+//! client dies mid-write — same discipline `fault_recovery` pins down
+//! for the anti-entropy wire), trailing bytes are rejected, and random
+//! byte soup never panics either decoder.
+
+use bytes::Bytes;
+use optrep_kv::KvSyncReport;
+use optrep_server::proto::{Request, Response, StatusInfo};
+use proptest::prelude::*;
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..24)
+        .prop_map(|raw| String::from_utf8_lossy(&raw).into_owned())
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        arb_string().prop_map(|key| Request::Get { key }),
+        (arb_string(), proptest::collection::vec(any::<u8>(), 0..48)).prop_map(|(key, value)| {
+            Request::Put {
+                key,
+                value: Bytes::from(value),
+            }
+        }),
+        arb_string().prop_map(|key| Request::Delete { key }),
+        Just(Request::Status),
+        Just(Request::Digest),
+        arb_string().prop_map(|peer| Request::Sync { peer }),
+    ]
+}
+
+fn arb_status() -> impl Strategy<Value = StatusInfo> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(site, keys, tracked, generation, (conn_dials, conn_contacts, conn_live))| {
+                StatusInfo {
+                    site,
+                    keys,
+                    tracked,
+                    generation,
+                    conn_dials,
+                    conn_contacts,
+                    conn_live,
+                }
+            },
+        )
+}
+
+fn arb_report() -> impl Strategy<Value = KvSyncReport> {
+    (
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+    )
+        .prop_map(
+            |((examined, created, ff, reconciled), (unchanged, meta, value))| KvSyncReport {
+                keys_examined: examined as usize,
+                keys_created: created as usize,
+                keys_fast_forwarded: ff as usize,
+                keys_reconciled: reconciled as usize,
+                keys_unchanged: unchanged as usize,
+                meta_bytes: meta as usize,
+                value_bytes: value as usize,
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Value(None)),
+        proptest::collection::vec(any::<u8>(), 0..48)
+            .prop_map(|value| Response::Value(Some(Bytes::from(value)))),
+        Just(Response::Ok),
+        arb_status().prop_map(Response::Status),
+        any::<u64>().prop_map(Response::Digest),
+        arb_report().prop_map(Response::Synced),
+        arb_string().prop_map(Response::Err),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(request in arb_request()) {
+        let mut buf = request.encode();
+        prop_assert_eq!(Request::decode(&mut buf).unwrap(), request);
+    }
+
+    #[test]
+    fn response_roundtrip(response in arb_response()) {
+        let mut buf = response.encode();
+        prop_assert_eq!(Response::decode(&mut buf).unwrap(), response);
+    }
+
+    #[test]
+    fn every_request_prefix_is_rejected(request in arb_request()) {
+        let full = request.encode();
+        for cut in 0..full.len() {
+            let mut buf = full.slice(0..cut);
+            prop_assert!(Request::decode(&mut buf).is_err(), "cut {} decoded", cut);
+        }
+    }
+
+    #[test]
+    fn every_response_prefix_is_rejected(response in arb_response()) {
+        let full = response.encode();
+        for cut in 0..full.len() {
+            let mut buf = full.slice(0..cut);
+            prop_assert!(Response::decode(&mut buf).is_err(), "cut {} decoded", cut);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(request in arb_request(), junk in any::<u8>()) {
+        let mut padded = bytes::BytesMut::new();
+        padded.extend_from_slice(&request.encode());
+        padded.extend_from_slice(&[junk]);
+        let mut buf = padded.freeze();
+        prop_assert!(Request::decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn garbage_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = Bytes::from(raw.clone());
+        let _ = Request::decode(&mut buf);
+        let mut buf = Bytes::from(raw);
+        let _ = Response::decode(&mut buf);
+    }
+}

@@ -90,6 +90,32 @@ for node in "$A" "$B" "$C"; do
 done
 echo "all keys served by all replicas"
 
+# Connection reuse: every daemon synced from its two peers repeatedly,
+# so `status` must report exactly 2 dials with strictly more contacts —
+# repeated syncs pipeline over one persistent connection per peer
+# instead of re-dialing. One extra sweep first so the assertion holds
+# even if the mesh converged in a single round. `status_field <line>
+# <name>` extracts one counter from the status line.
+status_field() {
+    awk -v want="$2" '{for (i = 1; i < NF; i++) if ($i == want) print $(i + 1)}' <<<"$1"
+}
+for dst in "$A" "$B" "$C"; do
+    for src in "$A" "$B" "$C"; do
+        [[ "$dst" == "$src" ]] || "$BIN/optrep" "$dst" sync "$src" >/dev/null
+    done
+done
+for node in "$A" "$B" "$C"; do
+    status="$("$BIN/optrep" "$node" status)"
+    dials="$(status_field "$status" conn-dials)"
+    contacts="$(status_field "$status" conn-contacts)"
+    live="$(status_field "$status" conn-live)"
+    if [[ "$dials" != 2 || "$contacts" -le "$dials" || "$live" != 2 ]]; then
+        echo "FAIL: $node re-dialed instead of reusing connections: $status" >&2
+        exit 1
+    fi
+done
+echo "connection reuse verified: 2 dials per daemon, contacts pipelined over them"
+
 # Stop the daemons so the traces are complete, then validate each one.
 kill "${PIDS[@]}" 2>/dev/null || true
 wait 2>/dev/null || true
