@@ -5,6 +5,7 @@
 //! tables t2 e4 f2     # a selection
 //! tables --list       # available ids
 //! tables --check-jsonl <path>   # validate an event trace
+//! tables --check-prom <path>    # validate a Prometheus scrape
 //! ```
 //!
 //! Each experiment additionally writes its tables to `BENCH_<id>.json`
@@ -41,8 +42,31 @@ fn main() {
             }
         }
     }
+    if let Some(pos) = args.iter().position(|a| a == "--check-prom") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("usage: tables --check-prom <metrics.prom>");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("check failed: {path}: cannot read: {e}");
+            std::process::exit(1);
+        });
+        match optrep_bench::prom::check(&text) {
+            Ok(families) => {
+                println!("ok: {path}: {families} families, exposition format and histogram identities hold");
+                return;
+            }
+            Err(e) => {
+                eprintln!("check failed: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: tables [all | --list | --check-jsonl <path> | <experiment id>...]");
+        eprintln!(
+            "usage: tables [all | --list | --check-jsonl <path> | \
+             --check-prom <path> | <experiment id>...]"
+        );
         eprintln!("ids: {}", experiments::ALL.join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }

@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod jsonl;
+pub mod prom;
 pub mod table;
 
 pub use table::Table;

@@ -24,6 +24,17 @@ use crate::causality::Causality;
 use crate::sync::ReceiverStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+pub mod metrics;
+pub use metrics::{
+    bucket_bound, bucket_index, Counter, FamilySnapshot, FamilyValue, Gauge, Histogram,
+    HistogramSnapshot, MetricsRegistry, MetricsSink, MetricsSnapshot, BUCKETS,
+};
+
+#[cfg(feature = "obs")]
+pub mod flight;
+#[cfg(feature = "obs")]
+pub use flight::FlightRecorder;
+
 /// Per-session cost totals: the common currency all layer reports
 /// convert into and [`CounterSink`] aggregates.
 ///
@@ -1013,7 +1024,7 @@ pub use dispatch::{
 /// another test thread — must not cascade `PoisonError` panics into
 /// unrelated sessions sharing the sink.
 #[cfg(feature = "obs")]
-fn lock_recovering<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_recovering<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -37,6 +37,6 @@ pub mod tcp;
 
 pub use fault::{mix_seed, FaultPlan, FaultStats, FaultyLink, TransmitOutcome};
 pub use link::LinkStats;
-pub use pool::{ConnPool, PoolStats};
+pub use pool::{ConnPool, PoolMetrics, PoolStats};
 pub use sim::{SimConfig, SimLink, SimReport};
 pub use tcp::{ConnectOptions, FrameLink, TcpLink};

@@ -20,10 +20,12 @@
 
 use crate::tcp::{ConnectOptions, TcpLink};
 use optrep_core::error::Result;
+use optrep_core::obs::metrics::{Counter, Histogram, MetricsRegistry};
 use optrep_core::wire::{Handshake, Intent};
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Per-peer connection counters, also summed by [`ConnPool::totals`].
 ///
@@ -32,6 +34,10 @@ use std::sync::Mutex;
 /// counts connections dropped after an error. A healthy steady state
 /// shows `contacts` growing while `dials` stays at 1 — the observable
 /// signature that pipelining works, asserted by `smoke_cluster.sh`.
+/// `reuses` counts checkouts satisfied by a pooled connection and
+/// `stale_reruns` counts the redial-once recoveries after a reused
+/// connection failed — the two numbers that separate "the pool works"
+/// from "the pool thrashes".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Sockets dialed (including reconnects after failures).
@@ -40,6 +46,37 @@ pub struct PoolStats {
     pub contacts: u64,
     /// Connections discarded after an error.
     pub discards: u64,
+    /// Checkouts satisfied by an already-pooled connection.
+    pub reuses: u64,
+    /// Redial-once recoveries after a reused connection went stale.
+    pub stale_reruns: u64,
+}
+
+/// Live metric instruments for one [`ConnPool`], registered in a
+/// [`MetricsRegistry`] and updated inline by the pool (no event stream
+/// involved — pool activity happens below the obs layer).
+#[derive(Clone)]
+pub struct PoolMetrics {
+    dials: Arc<Counter>,
+    dial_micros: Arc<Histogram>,
+    contacts: Arc<Counter>,
+    discards: Arc<Counter>,
+    reuses: Arc<Counter>,
+    stale_reruns: Arc<Counter>,
+}
+
+impl PoolMetrics {
+    /// Registers the pool families under `prefix` (e.g. `optrep_pool`).
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> PoolMetrics {
+        PoolMetrics {
+            dials: registry.counter(&format!("{prefix}_dials_total")),
+            dial_micros: registry.histogram(&format!("{prefix}_dial_micros")),
+            contacts: registry.counter(&format!("{prefix}_contacts_total")),
+            discards: registry.counter(&format!("{prefix}_discards_total")),
+            reuses: registry.counter(&format!("{prefix}_reuses_total")),
+            stale_reruns: registry.counter(&format!("{prefix}_stale_reruns_total")),
+        }
+    }
 }
 
 struct PeerEntry {
@@ -60,6 +97,7 @@ pub struct ConnPool {
     intent: Intent,
     opts: ConnectOptions,
     peers: Mutex<HashMap<SocketAddr, PeerEntry>>,
+    metrics: Mutex<Option<PoolMetrics>>,
 }
 
 impl ConnPool {
@@ -77,6 +115,24 @@ impl ConnPool {
             intent,
             opts,
             peers: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// Attaches live metric instruments; every later dial/checkout/
+    /// discard updates them inline alongside the per-peer stats.
+    pub fn set_metrics(&self, metrics: PoolMetrics) {
+        *self.metrics.lock().unwrap_or_else(|e| e.into_inner()) = Some(metrics);
+    }
+
+    fn with_metrics(&self, f: impl FnOnce(&PoolMetrics)) {
+        if let Some(m) = self
+            .metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            f(m);
         }
     }
 
@@ -107,12 +163,20 @@ impl ConnPool {
                 drop(link); // poisoned: never re-pool
                 if !reused {
                     self.record(addr, |s| s.discards += 1);
+                    self.with_metrics(|m| m.discards.inc());
                     return Err(first);
                 }
                 // The pooled connection may have gone stale while idle;
                 // one fresh dial gets its own chance before the error
                 // reaches the caller's retry schedule.
-                self.record(addr, |s| s.discards += 1);
+                self.record(addr, |s| {
+                    s.discards += 1;
+                    s.stale_reruns += 1;
+                });
+                self.with_metrics(|m| {
+                    m.discards.inc();
+                    m.stale_reruns.inc();
+                });
                 let mut link = self.dial(addr)?;
                 match f(&mut link) {
                     Ok(value) => {
@@ -121,6 +185,7 @@ impl ConnPool {
                     }
                     Err(second) => {
                         self.record(addr, |s| s.discards += 1);
+                        self.with_metrics(|m| m.discards.inc());
                         Err(second)
                     }
                 }
@@ -140,6 +205,8 @@ impl ConnPool {
             total.dials += entry.stats.dials;
             total.contacts += entry.stats.contacts;
             total.discards += entry.stats.discards;
+            total.reuses += entry.stats.reuses;
+            total.stale_reruns += entry.stats.stale_reruns;
         }
         total
     }
@@ -157,37 +224,56 @@ impl ConnPool {
     }
 
     fn checkout(&self, addr: SocketAddr) -> Result<(TcpLink, bool)> {
-        if let Some(link) = self
-            .lock()
-            .get_mut(&addr)
-            .and_then(|entry| entry.idle.take())
-        {
+        let pooled = {
+            let mut peers = self.lock();
+            peers.get_mut(&addr).and_then(|entry| {
+                let link = entry.idle.take();
+                if link.is_some() {
+                    entry.stats.reuses += 1;
+                }
+                link
+            })
+        };
+        if let Some(link) = pooled {
+            self.with_metrics(|m| m.reuses.inc());
             return Ok((link, true));
         }
         Ok((self.dial(addr)?, false))
     }
 
     fn dial(&self, addr: SocketAddr) -> Result<TcpLink> {
+        let started = Instant::now();
         let mut link = TcpLink::connect(addr, &self.opts)?;
         let preamble = Handshake::new(self.site, self.intent).encode();
         link.send_frame(0, &preamble)?;
+        let elapsed = started.elapsed().as_micros() as u64;
         self.record(addr, |s| s.dials += 1);
+        self.with_metrics(|m| {
+            m.dials.inc();
+            m.dial_micros.record(elapsed);
+        });
         Ok(link)
     }
 
     fn checkin(&self, addr: SocketAddr, link: TcpLink, contacts: u64, discards: u64) {
-        let mut peers = self.lock();
-        let entry = peers.entry(addr).or_insert_with(|| PeerEntry {
-            idle: None,
-            stats: PoolStats::default(),
-        });
-        entry.stats.contacts += contacts;
-        entry.stats.discards += discards;
-        if entry.idle.is_none() {
-            entry.idle = Some(link);
+        {
+            let mut peers = self.lock();
+            let entry = peers.entry(addr).or_insert_with(|| PeerEntry {
+                idle: None,
+                stats: PoolStats::default(),
+            });
+            entry.stats.contacts += contacts;
+            entry.stats.discards += discards;
+            if entry.idle.is_none() {
+                entry.idle = Some(link);
+            }
+            // else: a concurrent contact already re-pooled a connection
+            // for this peer; the surplus socket drops here.
         }
-        // else: a concurrent contact already re-pooled a connection for
-        // this peer; the surplus socket drops here.
+        self.with_metrics(|m| {
+            m.contacts.add(contacts);
+            m.discards.add(discards);
+        });
     }
 
     fn record(&self, addr: SocketAddr, f: impl FnOnce(&mut PoolStats)) {
@@ -276,6 +362,8 @@ mod tests {
         assert_eq!(stats.dials, 1, "every contact must reuse the first dial");
         assert_eq!(stats.contacts, 5);
         assert_eq!(stats.discards, 0);
+        assert_eq!(stats.reuses, 4, "contacts 2-5 must hit the pooled link");
+        assert_eq!(stats.stale_reruns, 0);
         assert_eq!(pool.live(), 1);
         pool.clear();
         drop(pool);
@@ -313,7 +401,35 @@ mod tests {
         let stats = pool.stats(addr);
         assert_eq!(stats.dials, 2);
         assert_eq!(stats.discards, 1);
+        assert_eq!(stats.stale_reruns, 1, "the redial-once path must count");
         assert!(stats.contacts >= 2);
+        let _ = std::net::TcpStream::connect(addr);
+        let _ = server.join();
+    }
+
+    #[test]
+    fn attached_metrics_mirror_the_stats_counters() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = echo_server(listener);
+
+        let registry = optrep_core::obs::MetricsRegistry::new();
+        let pool = ConnPool::new(3, fast_opts());
+        pool.set_metrics(PoolMetrics::register(&registry, "optrep_pool"));
+        for tag in 0..3u8 {
+            pool.with_conn(addr, |link| roundtrip(link, tag))
+                .expect("contact");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("optrep_pool_dials_total"), Some(1));
+        assert_eq!(snap.counter("optrep_pool_contacts_total"), Some(3));
+        assert_eq!(snap.counter("optrep_pool_reuses_total"), Some(2));
+        assert_eq!(snap.counter("optrep_pool_discards_total"), Some(0));
+        let dial = snap.histogram("optrep_pool_dial_micros").unwrap();
+        assert_eq!(dial.count, 1, "one dial, one latency sample");
+        pool.clear();
+        drop(pool);
+        let _ = std::net::TcpStream::connect(addr);
         let _ = std::net::TcpStream::connect(addr);
         let _ = server.join();
     }

@@ -14,10 +14,12 @@
 
 #![cfg(unix)]
 
+use optrep_core::obs::metrics::{Counter, Histogram, MetricsRegistry};
 use std::io::{self, Read, Write};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const POLLIN: i16 = 0x001;
 const POLLOUT: i16 = 0x004;
@@ -121,6 +123,53 @@ pub fn poll_ready(
         })
         .collect();
     Ok((rc as usize, ready))
+}
+
+/// Live metric instruments for one `poll_ready` loop: wake counts, time
+/// spent blocked in `poll(2)`, and how many fds each wake delivered.
+///
+/// The two histograms answer the first questions asked of a wedged
+/// event loop — "is it sleeping or spinning?" (wait histogram) and "is
+/// each wake doing real work?" (events-per-wake histogram) — without
+/// attaching a tracer.
+#[derive(Clone)]
+pub struct ReactorMetrics {
+    wakes: Arc<Counter>,
+    wait_micros: Arc<Histogram>,
+    events_per_wake: Arc<Histogram>,
+}
+
+impl ReactorMetrics {
+    /// Registers the reactor families under `prefix` (e.g.
+    /// `optrep_reactor`).
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> ReactorMetrics {
+        ReactorMetrics {
+            wakes: registry.counter(&format!("{prefix}_wakes_total")),
+            wait_micros: registry.histogram(&format!("{prefix}_poll_wait_micros")),
+            events_per_wake: registry.histogram(&format!("{prefix}_events_per_wake")),
+        }
+    }
+}
+
+/// [`poll_ready`], metered: records the blocked time and the ready-fd
+/// count into `metrics` around one poll round.
+///
+/// # Errors
+///
+/// Exactly [`poll_ready`]'s errors (error rounds are not recorded).
+pub fn poll_ready_metered(
+    fds: &[(RawFd, Interest)],
+    timeout: Option<Duration>,
+    metrics: &ReactorMetrics,
+) -> io::Result<(usize, Vec<Readiness>)> {
+    let started = Instant::now();
+    let (n, ready) = poll_ready(fds, timeout)?;
+    metrics.wakes.inc();
+    metrics
+        .wait_micros
+        .record(started.elapsed().as_micros() as u64);
+    metrics.events_per_wake.record(n as u64);
+    Ok((n, ready))
 }
 
 /// Cross-thread wakeup for a `poll_ready` loop.
@@ -242,6 +291,44 @@ mod tests {
         assert_eq!(n, 1);
         assert!(ready[0].writable, "fresh socket must be writable");
         assert!(!ready[0].readable, "nothing was sent yet");
+    }
+
+    #[test]
+    fn metered_poll_records_wakes_waits_and_event_counts() {
+        let registry = optrep_core::obs::MetricsRegistry::new();
+        let metrics = ReactorMetrics::register(&registry, "test_reactor");
+        let waker = Waker::new().expect("waker");
+
+        // A timeout round: one wake, zero events.
+        let (n, _) = poll_ready_metered(
+            &[(waker.fd(), Interest::READ)],
+            Some(Duration::from_millis(0)),
+            &metrics,
+        )
+        .expect("poll");
+        assert_eq!(n, 0);
+
+        // A ready round: one wake, one event.
+        waker.wake();
+        let (n, _) = poll_ready_metered(
+            &[(waker.fd(), Interest::READ)],
+            Some(Duration::from_millis(1000)),
+            &metrics,
+        )
+        .expect("poll");
+        assert_eq!(n, 1);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("test_reactor_wakes_total"), Some(2));
+        let per_wake = snap.histogram("test_reactor_events_per_wake").unwrap();
+        assert_eq!(per_wake.count, 2);
+        assert_eq!(per_wake.sum, 1);
+        assert_eq!(
+            snap.histogram("test_reactor_poll_wait_micros")
+                .unwrap()
+                .count,
+            2
+        );
     }
 
     #[test]

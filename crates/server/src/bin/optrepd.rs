@@ -14,7 +14,12 @@
 //!
 //! With the `obs` feature, `OPTREP_OBS_JSONL=<path>` streams every sync
 //! event the daemon's contacts emit to `<path>`; validate it with
-//! `tables --check-jsonl <path>`.
+//! `tables --check-jsonl <path>`. `OPTREP_FLIGHT_JSONL=<path>` arms the
+//! slow-contact flight recorder: each contact's recent events ride a
+//! bounded ring, and rings of contacts slower than
+//! `OPTREP_FLIGHT_SLOW_MS` (default 250) — or aborted ones — are dumped
+//! to `<path>` as JSONL. Both can be set at once; they are independent
+//! sinks over the same event stream.
 //!
 //! The daemon prints one `listening on <addr>` line once reachable and
 //! runs until killed.
@@ -97,9 +102,16 @@ fn main() {
     run_traced(config);
 }
 
-/// Starts the node, wrapped in a `JsonlSink` when `OPTREP_OBS_JSONL`
-/// is set and the `obs` feature is on. The sink is installed *before*
-/// [`Node::start`] so the node's threads inherit it.
+/// A set env var whose value is a non-empty string, or `None`.
+fn env_path(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|path| !path.is_empty())
+}
+
+/// Starts the node, wrapped in the sinks the environment asks for —
+/// a `JsonlSink` for `OPTREP_OBS_JSONL`, a `FlightRecorder` for
+/// `OPTREP_FLIGHT_JSONL` — when the `obs` feature is on. Sinks are
+/// installed *before* [`Node::start`] so the node's threads inherit
+/// them.
 fn run_traced(config: NodeConfig) {
     let serve = move || {
         let node = match Node::start(config) {
@@ -114,34 +126,51 @@ fn run_traced(config: NodeConfig) {
         let _ = std::io::stdout().flush();
         node.wait();
     };
-    match std::env::var("OPTREP_OBS_JSONL") {
-        Ok(path) if !path.is_empty() => {
-            #[cfg(feature = "obs")]
-            {
-                use optrep_core::obs;
-                // Line-buffered, not block-buffered: daemons die by
-                // signal, so every event must reach the file as it is
-                // emitted or the trace ends mid-buffer.
-                let sink = match std::fs::File::create(&path) {
-                    Ok(file) => std::sync::Arc::new(obs::JsonlSink::new(Box::new(
-                        std::io::LineWriter::new(file),
-                    ))),
-                    Err(e) => {
-                        eprintln!("optrepd: cannot create {path}: {e}");
-                        std::process::exit(2);
-                    }
-                };
-                obs::with(sink, serve);
-            }
-            #[cfg(not(feature = "obs"))]
-            {
-                eprintln!(
-                    "optrepd: OPTREP_OBS_JSONL is set but the `obs` feature is \
-                     disabled; no trace will be written"
-                );
-                serve();
+    let trace_path = env_path("OPTREP_OBS_JSONL");
+    let flight_path = env_path("OPTREP_FLIGHT_JSONL");
+    if trace_path.is_none() && flight_path.is_none() {
+        serve();
+        return;
+    }
+    #[cfg(feature = "obs")]
+    {
+        use optrep_core::obs;
+        let mut sinks: Vec<std::sync::Arc<dyn obs::Sink>> = Vec::new();
+        if let Some(path) = trace_path {
+            // Line-buffered, not block-buffered: daemons die by
+            // signal, so every event must reach the file as it is
+            // emitted or the trace ends mid-buffer.
+            match std::fs::File::create(&path) {
+                Ok(file) => sinks.push(std::sync::Arc::new(obs::JsonlSink::new(Box::new(
+                    std::io::LineWriter::new(file),
+                )))),
+                Err(e) => {
+                    eprintln!("optrepd: cannot create {path}: {e}");
+                    std::process::exit(2);
+                }
             }
         }
-        _ => serve(),
+        if let Some(path) = flight_path {
+            let slow_ms = std::env::var("OPTREP_FLIGHT_SLOW_MS")
+                .ok()
+                .and_then(|raw| raw.parse::<u64>().ok())
+                .unwrap_or(250);
+            match obs::FlightRecorder::create(&path, Duration::from_millis(slow_ms)) {
+                Ok(recorder) => sinks.push(std::sync::Arc::new(recorder)),
+                Err(e) => {
+                    eprintln!("optrepd: cannot create {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        obs::with_all(sinks, serve);
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        eprintln!(
+            "optrepd: OPTREP_OBS_JSONL / OPTREP_FLIGHT_JSONL is set but the \
+             `obs` feature is disabled; no trace will be written"
+        );
+        serve();
     }
 }

@@ -125,6 +125,20 @@ impl Client {
         }
     }
 
+    /// A self-describing snapshot of every metric family the daemon
+    /// registers (render with
+    /// [`MetricsSnapshot::to_prometheus`](optrep_core::obs::MetricsSnapshot::to_prometheus)).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::get`].
+    pub fn metrics(&mut self) -> Result<optrep_core::obs::MetricsSnapshot> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(Self::unexpected("metrics", other)),
+        }
+    }
+
     /// Asks the daemon to pull from `peer` now.
     ///
     /// # Errors

@@ -43,18 +43,19 @@
 //! is staged, leaving the store byte-identical.
 
 use crate::proto::{Request, Response, StatusInfo};
+use optrep_core::obs::metrics::{Gauge, Histogram, MetricsRegistry, MetricsSink, MetricsSnapshot};
 use optrep_core::obs::{self, Sink};
 use optrep_core::wire::{Handshake, Intent};
 use optrep_core::{Error, Result, SiteId};
 use optrep_kv::{JoinResolver, KvStore, KvSyncReport};
-use optrep_net::{ConnPool, ConnectOptions};
+use optrep_net::{ConnPool, ConnectOptions, PoolMetrics};
 use optrep_replication::{
     run_contact_pipelined, serve_frame, BatchPullServer, RetryPolicy, ServeStep, CONTROL_STREAM,
 };
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shutdown-poll slice for gossip sleeps (and the non-unix accept poll).
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -92,6 +93,11 @@ pub struct NodeConfig {
     /// Socket dial/deadline policy for every connection this node opens
     /// or accepts.
     pub connect: ConnectOptions,
+    /// Feed per-event metric families (contact histograms, byte
+    /// counters) from the sync-event stream. On by default; benches
+    /// turn it off to measure the sink's own overhead. Gauges and the
+    /// runtime-internal histograms stay live either way.
+    pub metrics_events: bool,
 }
 
 impl NodeConfig {
@@ -105,6 +111,7 @@ impl NodeConfig {
             gossip_interval: None,
             retry: RetryPolicy::default(),
             connect: ConnectOptions::default(),
+            metrics_events: true,
         }
     }
 
@@ -135,6 +142,14 @@ impl NodeConfig {
         self.connect = connect;
         self
     }
+
+    /// Enables or disables event-driven metric families (see
+    /// [`NodeConfig::metrics_events`]).
+    #[must_use]
+    pub fn with_metrics_events(mut self, enabled: bool) -> Self {
+        self.metrics_events = enabled;
+        self
+    }
 }
 
 /// A finished blocking verb on its way back from the executor to the
@@ -144,6 +159,46 @@ struct VerbDone {
     conn: u64,
     stream: u64,
     response: Response,
+}
+
+/// The daemon's directly updated metric instruments (gauges sampled at
+/// scrape time, histograms fed inline by the runtime internals the
+/// event stream never reaches).
+struct NodeMetrics {
+    uptime_secs: Arc<Gauge>,
+    store_keys: Arc<Gauge>,
+    store_tracked: Arc<Gauge>,
+    store_generation: Arc<Gauge>,
+    conn_live: Arc<Gauge>,
+    /// Jobs submitted to the sync worker and not yet picked up.
+    worker_queue_depth: Arc<Gauge>,
+    /// Wall-clock of each verb handled (inline or on the worker).
+    verb_service_micros: Arc<Histogram>,
+    /// Bytes still buffered per connection each time a socket pushed
+    /// back mid-flush — one sample per backpressure incident.
+    write_backlog_bytes: Arc<Histogram>,
+    /// Peers whose every pull attempt failed in the last gossip pass.
+    quarantined_peers: Arc<Gauge>,
+    #[cfg(unix)]
+    reactor: optrep_net::reactor::ReactorMetrics,
+}
+
+impl NodeMetrics {
+    fn register(registry: &MetricsRegistry) -> NodeMetrics {
+        NodeMetrics {
+            uptime_secs: registry.gauge("optrep_uptime_secs"),
+            store_keys: registry.gauge("optrep_store_keys"),
+            store_tracked: registry.gauge("optrep_store_tracked"),
+            store_generation: registry.gauge("optrep_store_generation"),
+            conn_live: registry.gauge("optrep_conn_live"),
+            worker_queue_depth: registry.gauge("optrep_worker_queue_depth"),
+            verb_service_micros: registry.histogram("optrep_verb_service_micros"),
+            write_backlog_bytes: registry.histogram("optrep_write_backlog_bytes"),
+            quarantined_peers: registry.gauge("optrep_quarantined_peers"),
+            #[cfg(unix)]
+            reactor: optrep_net::reactor::ReactorMetrics::register(registry, "optrep_reactor"),
+        }
+    }
 }
 
 /// State shared between the connection core, the executor, the gossip
@@ -159,9 +214,23 @@ struct Shared {
     /// a pooled socket instead of dialing fresh.
     pool: ConnPool,
     shutdown: AtomicBool,
-    /// Obs sinks captured at [`Node::start`]; re-installed on every
-    /// spawned thread (shared `Arc`s, as the engine's wave workers do)
-    /// so socket-driven contacts trace into the starter's aggregators.
+    /// When the daemon started (`status` uptime, `optrep_uptime_secs`).
+    started: Instant,
+    /// The daemon's metric families, served by the `Metrics` verb.
+    registry: Arc<MetricsRegistry>,
+    /// The event-driven sink feeding [`Self::registry`]; installed on
+    /// every daemon thread via [`Self::sinks`], and pushed by
+    /// [`Node::sync_with`] onto *caller* threads so embedded pulls are
+    /// metered too. Inert when [`Self::metrics_events`] is off.
+    metrics_sink: Arc<dyn Sink>,
+    /// Whether [`Self::metrics_sink`] is wired up (see
+    /// [`NodeConfig::metrics_events`]).
+    metrics_events: bool,
+    metrics: NodeMetrics,
+    /// Obs sinks captured at [`Node::start`] plus the daemon's own
+    /// [`Self::metrics_sink`]; re-installed on every spawned thread
+    /// (shared `Arc`s, as the engine's wave workers do) so socket-driven
+    /// contacts trace into the starter's aggregators.
     sinks: Vec<Arc<dyn Sink>>,
     /// Wakes the event loop from other threads: executor completions
     /// and [`Node::stop`].
@@ -238,6 +307,18 @@ impl Node {
             protocol: "daemon",
             message: format!("cannot create event waker: {e}"),
         })?;
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics_sink: Arc<dyn Sink> = Arc::new(MetricsSink::new(&registry));
+        let metrics = NodeMetrics::register(&registry);
+        let pool = ConnPool::new(config.site.index(), config.connect);
+        pool.set_metrics(PoolMetrics::register(&registry, "optrep_pool"));
+        // Every daemon thread gets the starter's sinks plus the metrics
+        // sink, so sync-verb events raised on the worker and gossip
+        // threads reach both the user's tracers and the registry.
+        let mut sinks = obs::installed();
+        if config.metrics_events {
+            sinks.push(Arc::clone(&metrics_sink));
+        }
         let shared = Arc::new(Shared {
             site: config.site,
             store: Mutex::new(KvStore::new(config.site)),
@@ -245,9 +326,14 @@ impl Node {
             peers: config.peers,
             retry: config.retry,
             connect: config.connect,
-            pool: ConnPool::new(config.site.index(), config.connect),
+            pool,
             shutdown: AtomicBool::new(false),
-            sinks: obs::installed(),
+            started: Instant::now(),
+            registry,
+            metrics_sink,
+            metrics_events: config.metrics_events,
+            metrics,
+            sinks,
             #[cfg(unix)]
             waker,
             #[cfg(unix)]
@@ -265,7 +351,13 @@ impl Node {
         };
         let gossip = config.gossip_interval.map(|interval| {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || gossip_loop(&shared, interval))
+            // The gossip thread needs the shared sinks installed just
+            // like the event loop and the executor: without them its
+            // pulls' contact/session events silently vanish from
+            // daemon-side traces and metrics.
+            std::thread::spawn(move || {
+                obs::with_all(shared.sinks.clone(), || gossip_loop(&shared, interval))
+            })
         });
         Ok(Node {
             shared,
@@ -302,15 +394,31 @@ impl Node {
         self.shared.pool.totals()
     }
 
+    /// A metrics snapshot, exactly as the `Metrics` verb serves it
+    /// (point-in-time gauges refreshed first).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        refresh_gauges(&self.shared);
+        self.shared.registry.snapshot()
+    }
+
     /// Pulls from `peer` right now, exactly as the `sync` verb does,
     /// over this node's pooled persistent connection to that peer.
+    ///
+    /// The daemon's metrics sink rides along on the calling thread (on
+    /// top of whatever sinks the caller installed), so embedded pulls
+    /// land in the same histograms as verb- and gossip-driven ones.
     ///
     /// # Errors
     ///
     /// Propagates dial, transport, and protocol errors; the store is
     /// untouched unless the pull committed.
     pub fn sync_with(&self, peer: SocketAddr) -> Result<KvSyncReport> {
-        pull_from(&self.shared, peer)
+        if !self.shared.metrics_events {
+            return pull_from(&self.shared, peer);
+        }
+        obs::with(Arc::clone(&self.shared.metrics_sink), || {
+            pull_from(&self.shared, peer)
+        })
     }
 
     /// Blocks until the node is stopped.
@@ -351,7 +459,7 @@ mod event {
     use super::*;
     use bytes::BytesMut;
     use optrep_core::wire::{self, FrameDecoder};
-    use optrep_net::reactor::{capped_poll_backoff, poll_ready, Interest};
+    use optrep_net::reactor::{capped_poll_backoff, poll_ready_metered, Interest};
     use std::collections::HashMap;
     use std::io::{Read, Write};
     use std::net::TcpStream;
@@ -436,6 +544,7 @@ mod event {
         std::thread::spawn(move || {
             obs::with_all(shared.sinks.clone(), || {
                 while let Ok(job) = rx.recv() {
+                    shared.metrics.worker_queue_depth.dec();
                     let response = handle_request(&shared, job.request);
                     shared.completions().push(VerbDone {
                         conn: job.conn,
@@ -473,7 +582,7 @@ mod event {
                     conn.busy = false;
                     push_response(conn, verb.stream, &verb.response);
                     process(shared, verb.conn, conn, &mut exec);
-                    flush(conn);
+                    flush(shared, conn);
                 }
             }
             conns.retain(|_, conn| !conn.done());
@@ -508,7 +617,8 @@ mod event {
                 Some(at) => at.saturating_duration_since(now).min(IDLE_POLL),
                 None => IDLE_POLL,
             };
-            let Ok((_, ready)) = poll_ready(&fds, Some(timeout)) else {
+            let Ok((_, ready)) = poll_ready_metered(&fds, Some(timeout), &shared.metrics.reactor)
+            else {
                 // poll(2) itself failed (fd exhaustion). Breathe and
                 // retry; connections are still intact.
                 std::thread::sleep(ACCEPT_BACKOFF_BASE);
@@ -538,14 +648,14 @@ mod event {
                     let open = read_into(conn);
                     process(shared, *id, conn, &mut exec);
                     if !open {
-                        flush(conn);
+                        flush(shared, conn);
                         conn.dead = true;
                     }
                 } else if readiness.error {
                     conn.dead = true;
                 }
                 if !conn.dead && !conn.out.is_empty() {
-                    flush(conn);
+                    flush(shared, conn);
                 }
             }
             conns.retain(|_, conn| !conn.done());
@@ -672,6 +782,8 @@ mod event {
                             .is_err()
                         {
                             conn.dead = true;
+                        } else {
+                            shared.metrics.worker_queue_depth.inc();
                         }
                     }
                     Ok(request) => {
@@ -708,8 +820,10 @@ mod event {
     }
 
     /// Writes as much of the buffered output as the socket accepts now;
-    /// the remainder keeps `POLLOUT` interest for the next round.
-    fn flush(conn: &mut Conn) {
+    /// the remainder keeps `POLLOUT` interest for the next round. Each
+    /// time the socket pushes back, the bytes left behind are one
+    /// sample in the write-backlog histogram.
+    fn flush(shared: &Shared, conn: &mut Conn) {
         while !conn.out.is_empty() {
             match conn.stream.write(&conn.out) {
                 Ok(0) => {
@@ -719,7 +833,13 @@ mod event {
                 Ok(n) => {
                     let _ = conn.out.split_to(n);
                 }
-                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    shared
+                        .metrics
+                        .write_backlog_bytes
+                        .record(conn.out.len() as u64);
+                    return;
+                }
                 Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => {
                     conn.dead = true;
@@ -878,8 +998,39 @@ mod threaded {
     }
 }
 
-/// Executes one client verb against the shared store.
+/// Refreshes the point-in-time gauges a scrape reports: store shape,
+/// pool liveness, uptime. Counters and histograms are always current;
+/// only gauges are sampled lazily, at snapshot time.
+fn refresh_gauges(shared: &Shared) {
+    let (keys, tracked, generation) = {
+        let store = shared.store();
+        (
+            store.len() as u64,
+            store.tracked_entries() as u64,
+            store.generation(),
+        )
+    };
+    let m = &shared.metrics;
+    m.store_keys.set(keys);
+    m.store_tracked.set(tracked);
+    m.store_generation.set(generation);
+    m.conn_live.set(shared.pool.live() as u64);
+    m.uptime_secs.set(shared.started.elapsed().as_secs());
+}
+
+/// Executes one client verb against the shared store, timing it into
+/// `optrep_verb_service_micros`.
 fn handle_request(shared: &Shared, request: Request) -> Response {
+    let started = Instant::now();
+    let response = dispatch_request(shared, request);
+    shared
+        .metrics
+        .verb_service_micros
+        .record(started.elapsed().as_micros() as u64);
+    response
+}
+
+fn dispatch_request(shared: &Shared, request: Request) -> Response {
     match request {
         Request::Get { key } => {
             let store = shared.store();
@@ -911,6 +1062,8 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 conn_dials: totals.dials,
                 conn_contacts: totals.contacts,
                 conn_live: shared.pool.live() as u64,
+                uptime_secs: shared.started.elapsed().as_secs(),
+                metrics_seq: shared.registry.seq(),
             })
         }
         Request::Digest => Response::Digest(shared.store().replica_digest()),
@@ -921,6 +1074,10 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             },
             Err(_) => Response::Err(format!("bad peer address: {peer}")),
         },
+        Request::Metrics => {
+            refresh_gauges(shared);
+            Response::Metrics(shared.registry.snapshot())
+        }
     }
 }
 
@@ -969,8 +1126,10 @@ fn gossip_loop(shared: &Arc<Shared>, interval: Duration) {
         if shared.stopping() {
             return;
         }
+        let mut quarantined: u64 = 0;
         for &peer in &shared.peers {
             let attempts = shared.retry.max_attempts.max(1);
+            let mut reached = false;
             for attempt in 0..attempts {
                 if shared.stopping() {
                     return;
@@ -986,10 +1145,17 @@ fn gossip_loop(shared: &Arc<Shared>, interval: Duration) {
                     );
                 }
                 if pull_from(shared, peer).is_ok() {
+                    reached = true;
                     break;
                 }
             }
+            if !reached {
+                quarantined += 1;
+            }
         }
+        // Peers that burned the whole retry budget this pass sit out
+        // until the next tick — the fleet-view "quarantine" column.
+        shared.metrics.quarantined_peers.set(quarantined);
     }
 }
 

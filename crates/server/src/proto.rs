@@ -10,6 +10,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use optrep_core::error::WireError;
+use optrep_core::obs::metrics::{FamilySnapshot, FamilyValue, HistogramSnapshot, MetricsSnapshot};
+use optrep_core::obs::BUCKETS;
 use optrep_core::wire;
 use optrep_kv::KvSyncReport;
 
@@ -42,6 +44,9 @@ pub enum Request {
         /// Peer address to pull from.
         peer: String,
     },
+    /// Ask for a self-describing metrics snapshot (all registered
+    /// counter/gauge/histogram families).
+    Metrics,
 }
 
 /// The daemon's vital signs, answered to a `Status` verb.
@@ -66,6 +71,11 @@ pub struct StatusInfo {
     pub conn_contacts: u64,
     /// Peers with a live pooled connection right now.
     pub conn_live: u64,
+    /// Seconds since the daemon started (0 from pre-metrics daemons).
+    pub uptime_secs: u64,
+    /// Metrics snapshots the daemon has served so far (0 from
+    /// pre-metrics daemons — no registry, nothing ever scraped).
+    pub metrics_seq: u64,
 }
 
 /// The daemon's answer to one [`Request`].
@@ -81,6 +91,8 @@ pub enum Response {
     Digest(u64),
     /// `Sync` completed with this pull report.
     Synced(KvSyncReport),
+    /// `Metrics` result: every registered family, point in time.
+    Metrics(MetricsSnapshot),
     /// The verb failed; human-readable reason.
     Err(String),
 }
@@ -91,6 +103,7 @@ const REQ_DELETE: u8 = 3;
 const REQ_STATUS: u8 = 4;
 const REQ_DIGEST: u8 = 5;
 const REQ_SYNC: u8 = 6;
+const REQ_METRICS: u8 = 7;
 
 const RESP_VALUE: u8 = 1;
 const RESP_OK: u8 = 2;
@@ -98,10 +111,93 @@ const RESP_STATUS: u8 = 3;
 const RESP_DIGEST: u8 = 4;
 const RESP_SYNCED: u8 = 5;
 const RESP_ERR: u8 = 6;
+const RESP_METRICS: u8 = 7;
+
+/// Family kind tags inside a `Metrics` response.
+const FAMILY_COUNTER: u8 = 0;
+const FAMILY_GAUGE: u8 = 1;
+const FAMILY_HISTOGRAM: u8 = 2;
 
 fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
     let bytes = wire::get_bytes(buf)?;
     String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidPayload)
+}
+
+/// Encodes one metric family: length-prefixed name, kind tag, value.
+/// Histogram buckets travel sparse — `(index, count)` pairs with
+/// strictly increasing one-byte indexes — so a mostly-empty 65-bucket
+/// histogram costs a handful of bytes, and every field is counted up
+/// front (no optional tails: a truncated snapshot can never decode).
+fn put_family(buf: &mut BytesMut, family: &FamilySnapshot) {
+    wire::put_bytes(buf, family.name.as_bytes());
+    match &family.value {
+        FamilyValue::Counter(v) => {
+            buf.put_u8(FAMILY_COUNTER);
+            wire::put_varint(buf, *v);
+        }
+        FamilyValue::Gauge(v) => {
+            buf.put_u8(FAMILY_GAUGE);
+            wire::put_varint(buf, *v);
+        }
+        FamilyValue::Histogram(h) => {
+            buf.put_u8(FAMILY_HISTOGRAM);
+            wire::put_varint(buf, h.sum);
+            wire::put_varint(buf, h.count);
+            let nonzero: Vec<(usize, u64)> = h
+                .counts
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, c)| c != 0)
+                .collect();
+            wire::put_varint(buf, nonzero.len() as u64);
+            for (i, c) in nonzero {
+                buf.put_u8(i as u8);
+                wire::put_varint(buf, c);
+            }
+        }
+    }
+}
+
+fn get_family(buf: &mut Bytes) -> Result<FamilySnapshot, WireError> {
+    let name = get_string(buf)?;
+    if !buf.has_remaining() {
+        return Err(WireError::UnexpectedEof);
+    }
+    let value = match buf.get_u8() {
+        FAMILY_COUNTER => FamilyValue::Counter(wire::get_varint(buf)?),
+        FAMILY_GAUGE => FamilyValue::Gauge(wire::get_varint(buf)?),
+        FAMILY_HISTOGRAM => {
+            let sum = wire::get_varint(buf)?;
+            let count = wire::get_varint(buf)?;
+            let pairs = wire::get_varint(buf)?;
+            if pairs > BUCKETS as u64 {
+                return Err(WireError::InvalidPayload);
+            }
+            let mut counts = vec![0u64; BUCKETS];
+            let mut prev: Option<u8> = None;
+            for _ in 0..pairs {
+                if !buf.has_remaining() {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let index = buf.get_u8();
+                // Strictly increasing indexes make the encoding
+                // canonical: one wire form per snapshot.
+                if usize::from(index) >= BUCKETS || prev.is_some_and(|p| index <= p) {
+                    return Err(WireError::InvalidPayload);
+                }
+                let bucket = wire::get_varint(buf)?;
+                if bucket == 0 {
+                    return Err(WireError::InvalidPayload);
+                }
+                counts[usize::from(index)] = bucket;
+                prev = Some(index);
+            }
+            FamilyValue::Histogram(HistogramSnapshot { counts, sum, count })
+        }
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    Ok(FamilySnapshot { name, value })
 }
 
 impl Request {
@@ -128,6 +224,7 @@ impl Request {
                 buf.put_u8(REQ_SYNC);
                 wire::put_bytes(&mut buf, peer.as_bytes());
             }
+            Request::Metrics => buf.put_u8(REQ_METRICS),
         }
         buf.freeze()
     }
@@ -159,6 +256,7 @@ impl Request {
             REQ_SYNC => Request::Sync {
                 peer: get_string(buf)?,
             },
+            REQ_METRICS => Request::Metrics,
             tag => return Err(WireError::UnknownTag(tag)),
         };
         if buf.has_remaining() {
@@ -193,6 +291,13 @@ impl Response {
                 wire::put_varint(&mut buf, info.conn_dials);
                 wire::put_varint(&mut buf, info.conn_contacts);
                 wire::put_varint(&mut buf, info.conn_live);
+                // Appended after the original seven fields: the decoder
+                // treats these (and any future appendees) as an optional
+                // tail, so a new client still reads an old daemon's
+                // status, and a newer daemon's extra fields never break
+                // this decoder.
+                wire::put_varint(&mut buf, info.uptime_secs);
+                wire::put_varint(&mut buf, info.metrics_seq);
             }
             Response::Digest(digest) => {
                 buf.put_u8(RESP_DIGEST);
@@ -210,6 +315,14 @@ impl Response {
                     report.value_bytes,
                 ] {
                     wire::put_varint(&mut buf, n as u64);
+                }
+            }
+            Response::Metrics(snapshot) => {
+                buf.put_u8(RESP_METRICS);
+                wire::put_varint(&mut buf, snapshot.seq);
+                wire::put_varint(&mut buf, snapshot.families.len() as u64);
+                for family in &snapshot.families {
+                    put_family(&mut buf, family);
                 }
             }
             Response::Err(msg) => {
@@ -247,7 +360,7 @@ impl Response {
                 if site > u64::from(u32::MAX) {
                     return Err(WireError::InvalidPayload);
                 }
-                Response::Status(StatusInfo {
+                let mut info = StatusInfo {
                     site: site as u32,
                     keys: wire::get_varint(buf)?,
                     tracked: wire::get_varint(buf)?,
@@ -255,7 +368,25 @@ impl Response {
                     conn_dials: wire::get_varint(buf)?,
                     conn_contacts: wire::get_varint(buf)?,
                     conn_live: wire::get_varint(buf)?,
-                })
+                    uptime_secs: 0,
+                    metrics_seq: 0,
+                };
+                // Optional tail: fields appended by this or any later
+                // protocol revision. A short payload (old daemon) leaves
+                // the defaults; unrecognized extra fields are skipped so
+                // newer daemons stay readable too. Tail fields must
+                // still be well-formed varints — a truncated tail is a
+                // broken frame, not an old one.
+                if buf.has_remaining() {
+                    info.uptime_secs = wire::get_varint(buf)?;
+                }
+                if buf.has_remaining() {
+                    info.metrics_seq = wire::get_varint(buf)?;
+                }
+                while buf.has_remaining() {
+                    let _ = wire::get_varint(buf)?;
+                }
+                Response::Status(info)
             }
             RESP_DIGEST => Response::Digest(wire::get_varint(buf)?),
             RESP_SYNCED => {
@@ -272,6 +403,15 @@ impl Response {
                     meta_bytes: fields[5],
                     value_bytes: fields[6],
                 })
+            }
+            RESP_METRICS => {
+                let seq = wire::get_varint(buf)?;
+                let count = wire::get_varint(buf)?;
+                let mut families = Vec::new();
+                for _ in 0..count {
+                    families.push(get_family(buf)?);
+                }
+                Response::Metrics(MetricsSnapshot { seq, families })
             }
             RESP_ERR => Response::Err(get_string(buf)?),
             tag => return Err(WireError::UnknownTag(tag)),
@@ -301,6 +441,7 @@ mod tests {
             Request::Sync {
                 peer: "127.0.0.1:7701".into(),
             },
+            Request::Metrics,
         ];
         for req in reqs {
             let mut buf = req.encode();
@@ -322,6 +463,8 @@ mod tests {
                 conn_dials: 1,
                 conn_contacts: 41,
                 conn_live: 1,
+                uptime_secs: 3600,
+                metrics_seq: 12,
             }),
             Response::Digest(u64::MAX),
             Response::Synced(KvSyncReport {
@@ -339,6 +482,128 @@ mod tests {
             let mut buf = resp.encode();
             assert_eq!(Response::decode(&mut buf), Ok(resp));
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_through_the_wire() {
+        use optrep_core::obs::{MetricsRegistry, BUCKETS};
+        let registry = MetricsRegistry::new();
+        registry.counter("optrep_contacts_total").add(17);
+        registry.gauge("optrep_conn_live").set(3);
+        let h = registry.histogram("optrep_contact_micros");
+        h.record(0);
+        h.record(900);
+        h.record(u64::MAX);
+        let snapshot = registry.snapshot();
+
+        let mut buf = Response::Metrics(snapshot.clone()).encode();
+        let decoded = Response::decode(&mut buf).expect("decode");
+        assert_eq!(decoded, Response::Metrics(snapshot.clone()));
+        let Response::Metrics(back) = decoded else {
+            unreachable!()
+        };
+        let hist = back.histogram("optrep_contact_micros").unwrap();
+        assert_eq!(hist.counts.len(), BUCKETS);
+        assert_eq!(hist.count, 3);
+    }
+
+    #[test]
+    fn metrics_decode_rejects_malformed_buckets() {
+        use optrep_core::obs::{FamilySnapshot, FamilyValue, HistogramSnapshot, MetricsSnapshot};
+        // Hand-roll a histogram family with an out-of-range bucket
+        // index by corrupting a valid encoding's index byte.
+        let mut counts = vec![0u64; optrep_core::obs::BUCKETS];
+        counts[5] = 2;
+        let snapshot = MetricsSnapshot {
+            seq: 1,
+            families: vec![FamilySnapshot {
+                name: "h".into(),
+                value: FamilyValue::Histogram(HistogramSnapshot {
+                    counts,
+                    sum: 40,
+                    count: 2,
+                }),
+            }],
+        };
+        let good = Response::Metrics(snapshot).encode();
+        let index_pos = good
+            .iter()
+            .rposition(|&b| b == 5)
+            .expect("index byte present");
+        let mut bad = good.to_vec();
+        bad[index_pos] = 200; // >= BUCKETS
+        let mut buf = Bytes::from(bad);
+        assert_eq!(
+            Response::decode(&mut buf),
+            Err(WireError::InvalidPayload),
+            "bucket index past BUCKETS must be rejected"
+        );
+    }
+
+    #[test]
+    fn status_decode_tolerates_old_and_future_tails() {
+        let info = StatusInfo {
+            site: 9,
+            keys: 4,
+            tracked: 6,
+            generation: 77,
+            conn_dials: 2,
+            conn_contacts: 8,
+            conn_live: 2,
+            uptime_secs: 120,
+            metrics_seq: 5,
+        };
+
+        // A pre-metrics daemon: only the original seven fields.
+        let mut old = BytesMut::new();
+        old.put_u8(RESP_STATUS);
+        for v in [
+            u64::from(info.site),
+            info.keys,
+            info.tracked,
+            info.generation,
+            info.conn_dials,
+            info.conn_contacts,
+            info.conn_live,
+        ] {
+            wire::put_varint(&mut old, v);
+        }
+        let mut buf = old.freeze();
+        let decoded = Response::decode(&mut buf).expect("old payload decodes");
+        assert_eq!(
+            decoded,
+            Response::Status(StatusInfo {
+                uptime_secs: 0,
+                metrics_seq: 0,
+                ..info
+            })
+        );
+
+        // A future daemon: the current fields plus unknown appendees.
+        let mut future = BytesMut::new();
+        future.put_slice(&Response::Status(info).encode());
+        wire::put_varint(&mut future, 0xDEAD);
+        wire::put_varint(&mut future, 42);
+        let mut buf = future.freeze();
+        assert_eq!(
+            Response::decode(&mut buf).expect("future payload decodes"),
+            Response::Status(info),
+            "unknown tail fields must be skipped, not rejected"
+        );
+
+        // A truncated tail is still a broken frame — detectable when
+        // the cut lands mid-varint, so put a multi-byte value last and
+        // slice one byte off it.
+        let long_tail = Response::Status(StatusInfo {
+            metrics_seq: 300, // two-byte varint at the very end
+            ..info
+        })
+        .encode();
+        let mut buf = long_tail.slice(0..long_tail.len() - 1);
+        assert!(
+            Response::decode(&mut buf).is_err(),
+            "a varint cut mid-byte in the tail must not decode"
+        );
     }
 
     #[test]

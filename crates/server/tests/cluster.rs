@@ -346,3 +346,79 @@ fn concurrent_writes_during_pull_are_not_lost() {
     dst.stop();
     src.stop();
 }
+
+/// Regression for a real bug: the daemon's sync worker is spawned
+/// lazily on the first `sync` verb, from the event-loop thread — if
+/// the spawn does not re-install the sinks captured at `Node::start`,
+/// every event the executor's pulls emit silently vanishes. Drive a
+/// pull through the verb path (client → event loop → worker thread)
+/// under an installed `CounterSink` and demand the events arrived.
+#[cfg(feature = "obs")]
+#[test]
+fn worker_thread_events_reach_sinks_installed_at_start() {
+    use optrep_core::obs::{self, CounterSink};
+    use std::sync::Arc;
+
+    let sink = Arc::new(CounterSink::new());
+    let (dst, src) = obs::with(Arc::clone(&sink) as Arc<dyn obs::Sink>, || {
+        (start_node(0), start_node(1))
+    });
+    src.with_store(|s| s.put("observed", "value"));
+    let mut client = Client::connect(dst.addr(), &fast_connect()).expect("connect");
+    client.sync(&src.addr().to_string()).expect("sync verb");
+    let counts = sink.snapshot();
+    assert!(
+        counts.contacts >= 1,
+        "worker-thread pull emitted no contact events: {counts:?}"
+    );
+    assert!(
+        counts.compare_bytes + counts.framing_bytes >= 1,
+        "no byte totals: {counts:?}"
+    );
+    dst.stop();
+    src.stop();
+}
+
+/// The `Metrics` verb end to end: the snapshot a client pulls over the
+/// wire must agree with the daemon's own activity, its sequence number
+/// must advance per snapshot (and show up in `status`), and the
+/// Prometheus rendering must carry the families `optrep top` reads.
+#[test]
+fn metrics_verb_reports_daemon_activity() {
+    let dst = start_node(0);
+    let src = start_node(1);
+    src.with_store(|s| s.put("k", "v"));
+    let mut client = Client::connect(dst.addr(), &fast_connect()).expect("connect");
+    client.sync(&src.addr().to_string()).expect("sync verb");
+
+    let first = client.metrics().expect("metrics verb");
+    let second = client.metrics().expect("metrics verb");
+    assert!(second.seq > first.seq, "snapshot sequence must advance");
+    let status = client.status().expect("status");
+    assert!(status.metrics_seq >= second.seq);
+    assert_eq!(status.uptime_secs, status.uptime_secs); // decoded, not junk
+
+    // Gauges mirror the store the verbs see.
+    assert_eq!(second.gauge("optrep_store_keys"), Some(1));
+    assert_eq!(second.gauge("optrep_conn_live"), Some(1));
+    // With obs on, the sync above must have landed in the histograms
+    // and counters; without it, the families still exist at zero.
+    let contacts = second.counter("optrep_contacts_total").expect("family");
+    let latency = second.histogram("optrep_contact_micros").expect("family");
+    if cfg!(feature = "obs") {
+        assert!(contacts >= 1, "contacts: {contacts}");
+        assert_eq!(latency.count, contacts, "one latency sample per contact");
+    }
+
+    let text = second.to_prometheus();
+    for family in [
+        "# TYPE optrep_contacts_total counter",
+        "# TYPE optrep_contact_micros histogram",
+        "# TYPE optrep_store_keys gauge",
+        "optrep_contact_micros_bucket{le=\"+Inf\"}",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+    dst.stop();
+    src.stop();
+}

@@ -4,8 +4,16 @@
 //! client dies mid-write — same discipline `fault_recovery` pins down
 //! for the anti-entropy wire), trailing bytes are rejected, and random
 //! byte soup never panics either decoder.
+//!
+//! `Status` is the one deliberate exception to strict-prefix
+//! rejection: its decode tolerates an unknown varint tail so old
+//! clients read new daemons, which means prefixes cut at a field
+//! boundary past the seven original fields *do* decode. The generic
+//! prefix property therefore excludes `Status`, and a dedicated
+//! property pins the exact tolerance it gets instead.
 
 use bytes::Bytes;
+use optrep_core::obs::{FamilySnapshot, FamilyValue, HistogramSnapshot, MetricsSnapshot, BUCKETS};
 use optrep_kv::KvSyncReport;
 use optrep_server::proto::{Request, Response, StatusInfo};
 use proptest::prelude::*;
@@ -28,6 +36,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Status),
         Just(Request::Digest),
         arb_string().prop_map(|peer| Request::Sync { peer }),
+        Just(Request::Metrics),
     ]
 }
 
@@ -38,9 +47,17 @@ fn arb_status() -> impl Strategy<Value = StatusInfo> {
         any::<u64>(),
         any::<u64>(),
         (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |(site, keys, tracked, generation, (conn_dials, conn_contacts, conn_live))| {
+            |(
+                site,
+                keys,
+                tracked,
+                generation,
+                (conn_dials, conn_contacts, conn_live),
+                (uptime_secs, metrics_seq),
+            )| {
                 StatusInfo {
                     site,
                     keys,
@@ -49,9 +66,40 @@ fn arb_status() -> impl Strategy<Value = StatusInfo> {
                     conn_dials,
                     conn_contacts,
                     conn_live,
+                    uptime_secs,
+                    metrics_seq,
                 }
             },
         )
+}
+
+fn arb_family_value() -> impl Strategy<Value = FamilyValue> {
+    prop_oneof![
+        any::<u64>().prop_map(FamilyValue::Counter),
+        any::<u64>().prop_map(FamilyValue::Gauge),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u64>(), BUCKETS),
+        )
+            .prop_map(|(sum, count, counts)| {
+                FamilyValue::Histogram(HistogramSnapshot { counts, sum, count })
+            }),
+    ]
+}
+
+fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        any::<u64>(),
+        proptest::collection::vec((arb_string(), arb_family_value()), 0..6),
+    )
+        .prop_map(|(seq, families)| MetricsSnapshot {
+            seq,
+            families: families
+                .into_iter()
+                .map(|(name, value)| FamilySnapshot { name, value })
+                .collect(),
+        })
 }
 
 fn arb_report() -> impl Strategy<Value = KvSyncReport> {
@@ -74,14 +122,23 @@ fn arb_report() -> impl Strategy<Value = KvSyncReport> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
+        arb_strict_response(),
+        arb_status().prop_map(Response::Status),
+    ]
+}
+
+/// Every response variant whose decode is strict — i.e. all but
+/// `Status`, whose tolerated unknown tail makes some prefixes valid.
+fn arb_strict_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
         Just(Response::Value(None)),
         proptest::collection::vec(any::<u8>(), 0..48)
             .prop_map(|value| Response::Value(Some(Bytes::from(value)))),
         Just(Response::Ok),
-        arb_status().prop_map(Response::Status),
         any::<u64>().prop_map(Response::Digest),
         arb_report().prop_map(Response::Synced),
         arb_string().prop_map(Response::Err),
+        arb_metrics().prop_map(Response::Metrics),
     ]
 }
 
@@ -108,12 +165,39 @@ proptest! {
     }
 
     #[test]
-    fn every_response_prefix_is_rejected(response in arb_response()) {
+    fn every_response_prefix_is_rejected(response in arb_strict_response()) {
         let full = response.encode();
         for cut in 0..full.len() {
             let mut buf = full.slice(0..cut);
             prop_assert!(Response::decode(&mut buf).is_err(), "cut {} decoded", cut);
         }
+    }
+
+    /// The `Status` tolerance is exactly "whole trailing varints may be
+    /// missing or extra": any prefix of a `Status` encoding either
+    /// fails to decode (cut mid-field or before the seven original
+    /// fields) or decodes to a `Status` agreeing with the original on
+    /// the seven original fields, with absent extensions read as zero.
+    #[test]
+    fn status_prefixes_decode_compatibly_or_not_at_all(status in arb_status()) {
+        let full = Response::Status(status).encode();
+        for cut in 0..full.len() {
+            let mut buf = full.slice(0..cut);
+            if let Ok(Response::Status(got)) = Response::decode(&mut buf) {
+                prop_assert_eq!(got.site, status.site);
+                prop_assert_eq!(got.keys, status.keys);
+                prop_assert_eq!(got.tracked, status.tracked);
+                prop_assert_eq!(got.generation, status.generation);
+                prop_assert_eq!(got.conn_dials, status.conn_dials);
+                prop_assert_eq!(got.conn_contacts, status.conn_contacts);
+                prop_assert_eq!(got.conn_live, status.conn_live);
+                prop_assert!(got.uptime_secs == status.uptime_secs || got.uptime_secs == 0);
+                prop_assert!(got.metrics_seq == status.metrics_seq || got.metrics_seq == 0);
+            }
+        }
+        // The full encoding itself always decodes.
+        let mut buf = full.clone();
+        prop_assert_eq!(Response::decode(&mut buf).unwrap(), Response::Status(status));
     }
 
     #[test]

@@ -116,6 +116,57 @@ for node in "$A" "$B" "$C"; do
 done
 echo "connection reuse verified: 2 dials per daemon, contacts pipelined over them"
 
+# Metrics: scrape every daemon with `optrep metrics`, validate the
+# Prometheus exposition offline, and cross-check it against `status` —
+# the contact counter, the latency histogram and the wire-bytes
+# histogram must all have seen exactly the contacts the connection pool
+# counted, and the four per-plane byte counters must sum to the
+# wire-bytes histogram total (byte conservation, metrics edition).
+# `prom_value <file> <sample>` extracts one sample value.
+prom_value() {
+    awk -v want="$2" '$1 == want { print $2 }' "$1"
+}
+for pair in "A $A" "B $B" "C $C"; do
+    site="${pair%% *}"
+    node="${pair#* }"
+    scrape="$WORK/$site.prom"
+    "$BIN/optrep" "$node" metrics >"$scrape"
+    "$BIN/tables" --check-prom "$scrape"
+    status="$("$BIN/optrep" "$node" status)"
+    pool_contacts="$(status_field "$status" conn-contacts)"
+    contacts="$(prom_value "$scrape" optrep_contacts_total)"
+    latency_count="$(prom_value "$scrape" optrep_contact_micros_count)"
+    wire_count="$(prom_value "$scrape" optrep_contact_wire_bytes_count)"
+    wire_sum="$(prom_value "$scrape" optrep_contact_wire_bytes_sum)"
+    bytes=$(( $(prom_value "$scrape" optrep_compare_bytes_total) \
+            + $(prom_value "$scrape" optrep_meta_bytes_total) \
+            + $(prom_value "$scrape" optrep_framing_bytes_total) \
+            + $(prom_value "$scrape" optrep_payload_bytes_total) ))
+    if [[ "$contacts" != "$pool_contacts" || "$latency_count" != "$contacts" \
+          || "$wire_count" != "$contacts" ]]; then
+        echo "FAIL: $site metrics disagree with status on contacts:" \
+             "pool=$pool_contacts counter=$contacts latency=$latency_count" \
+             "wire=$wire_count" >&2
+        exit 1
+    fi
+    if [[ "$bytes" != "$wire_sum" || "$bytes" -le 0 ]]; then
+        echo "FAIL: $site byte counters ($bytes) != wire-bytes histogram" \
+             "sum ($wire_sum)" >&2
+        exit 1
+    fi
+done
+echo "metrics verified: exposition parses, contact counts match status, bytes conserve"
+
+# The fleet view renders one table over all three daemons.
+top="$("$BIN/optrep" top --iters 1 "$A" "$B" "$C")"
+if [[ "$(grep -c . <<<"$top")" != 4 ]] || grep -q unreachable <<<"$top" \
+    || ! grep -q "P99(MS)" <<<"$top"; then
+    echo "FAIL: optrep top did not render all three daemons:" >&2
+    echo "$top" >&2
+    exit 1
+fi
+echo "optrep top rendered the fleet"
+
 # Stop the daemons so the traces are complete, then validate each one.
 kill "${PIDS[@]}" 2>/dev/null || true
 wait 2>/dev/null || true
