@@ -9,6 +9,7 @@ pub mod e10;
 pub mod e11;
 pub mod e12;
 pub mod e13;
+pub mod e14;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -27,7 +28,7 @@ use crate::table::Table;
 /// All experiment ids, in document order.
 pub const ALL: &[&str] = &[
     "t1", "t2", "f1", "f2", "f3", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-    "e11", "e12", "e13", "a1", "a2", "obs",
+    "e11", "e12", "e13", "e14", "a1", "a2", "obs",
 ];
 
 /// Runs one experiment by id, returning its tables.
@@ -55,6 +56,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "e11" => e11::run(),
         "e12" => e12::run(),
         "e13" => e13::run(),
+        "e14" => e14::run(),
         "a1" => ablation::run_a1(),
         "a2" => ablation::run_a2(),
         "obs" => obs::run(),

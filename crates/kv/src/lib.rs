@@ -399,6 +399,26 @@ impl KvStore {
         client: BatchPullClient,
         contact: &ContactReport,
     ) -> Result<KvSyncReport> {
+        self.apply_contact_tracked(resolver, client, contact)
+            .map(|(report, _)| report)
+    }
+
+    /// [`apply_contact`](Self::apply_contact), additionally returning
+    /// the keys the commit actually changed (created, fast-forwarded or
+    /// reconciled — clean keys are not listed). A daemon logging
+    /// committed mutations captures each changed key's post-state
+    /// ([`encode_entry`](Self::encode_entry)) under the same lock as the
+    /// commit, so one contact becomes one atomic log record.
+    ///
+    /// # Errors / Panics
+    ///
+    /// As [`apply_contact`](Self::apply_contact).
+    pub fn apply_contact_tracked(
+        &mut self,
+        resolver: &dyn Resolver,
+        client: BatchPullClient,
+        contact: &ContactReport,
+    ) -> Result<(KvSyncReport, Vec<String>)> {
         enum Staged {
             Create { value: Value },
             FastForward { value: Value },
@@ -447,12 +467,14 @@ impl KvStore {
             value_bytes: totals.payload_bytes as usize,
             ..KvSyncReport::default()
         };
+        let mut changed = Vec::new();
         for (key, meta, stream_totals, action) in staged {
             self.stats.absorb(&stream_totals);
             report.keys_examined += 1;
             match action {
                 Staged::Clean => report.keys_unchanged += 1,
                 Staged::Create { value } => {
+                    changed.push(key.clone());
                     self.entries.insert(key, Entry { meta, value });
                     report.keys_created += 1;
                 }
@@ -462,6 +484,7 @@ impl KvStore {
                     ours.value = value;
                     self.stats.record_fast_forward();
                     report.keys_fast_forwarded += 1;
+                    changed.push(key);
                 }
                 Staged::Reconcile { theirs } => {
                     let ours = self.entries.get_mut(&key).expect("client named our key");
@@ -472,13 +495,14 @@ impl KvStore {
                     ours.meta.record_update(self.site);
                     self.stats.record_reconciliation();
                     report.keys_reconciled += 1;
+                    changed.push(key);
                 }
             }
         }
-        if report.keys_created + report.keys_fast_forwarded + report.keys_reconciled > 0 {
+        if !changed.is_empty() {
             self.generation += 1;
         }
-        Ok(report)
+        Ok((report, changed))
     }
 
     /// `true` iff both stores hold identical keys, values and metadata
@@ -558,6 +582,63 @@ impl KvStore {
             }
         }
         buf.freeze()
+    }
+
+    /// The wire form of one entry's *current* state: metadata snapshot
+    /// plus the tagged value, exactly the per-entry layout
+    /// [`encode_snapshot`](Self::encode_snapshot) uses (minus the key,
+    /// which the caller frames separately). This is what a write-ahead
+    /// log records per mutated key — logging post-states instead of
+    /// operations makes replay exact and idempotent regardless of what
+    /// produced the state (a local write, a fast-forward, or a
+    /// resolver's reconciliation).
+    ///
+    /// Returns `None` if the key is not tracked (never written).
+    pub fn encode_entry(&self, key: &str) -> Option<Bytes> {
+        let entry = self.entries.get(key)?;
+        let mut buf = BytesMut::new();
+        let meta = entry.meta.encode_snapshot();
+        wire::put_bytes(&mut buf, &meta);
+        match &entry.value {
+            Some(v) => {
+                buf.put_u8(1);
+                wire::put_bytes(&mut buf, v);
+            }
+            None => buf.put_u8(0),
+        }
+        Some(buf.freeze())
+    }
+
+    /// Overwrites one entry with a state captured by
+    /// [`encode_entry`](Self::encode_entry), bumping the write
+    /// generation. The WAL replay path: applying every logged
+    /// post-state in order rebuilds the store the log described.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated or malformed input (trailing
+    /// bytes included); the store is untouched on error.
+    pub fn apply_encoded_entry(
+        &mut self,
+        key: impl Into<String>,
+        buf: &mut Bytes,
+    ) -> std::result::Result<(), WireError> {
+        let mut meta_bytes = wire::get_bytes(buf)?;
+        let meta = Srv::decode_snapshot(&mut meta_bytes)?;
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let value = match buf.get_u8() {
+            0 => None,
+            1 => Some(wire::get_bytes(buf)?),
+            _ => return Err(WireError::InvalidPayload),
+        };
+        if buf.has_remaining() {
+            return Err(WireError::InvalidPayload);
+        }
+        self.generation += 1;
+        self.entries.insert(key.into(), Entry { meta, value });
+        Ok(())
     }
 
     /// Rebuilds a store from [`encode_snapshot`](Self::encode_snapshot)
@@ -1033,6 +1114,71 @@ mod tests {
         assert_eq!(report.keys_examined, 2);
         assert!(b.consistent_with(&reference));
         assert_eq!(b.replica_digest(), reference.replica_digest());
+    }
+
+    #[test]
+    fn entry_encoding_roundtrips_and_tracks_generation() {
+        let mut a = KvStore::new(s(0));
+        a.put("x", "1");
+        a.put("gone", "2");
+        a.delete("gone");
+        assert!(a.encode_entry("absent").is_none());
+
+        // Replaying both entries' post-states into a fresh store on the
+        // same site rebuilds identical replicated state.
+        let mut b = KvStore::new(s(0));
+        for key in ["x", "gone"] {
+            let mut blob = a.encode_entry(key).unwrap();
+            b.apply_encoded_entry(key, &mut blob).unwrap();
+        }
+        assert_eq!(b, a);
+        assert_eq!(b.generation(), 2, "each applied entry moves the store");
+
+        // Truncations and trailing junk are rejected without touching
+        // the store.
+        let blob = a.encode_entry("x").unwrap();
+        for cut in 0..blob.len() {
+            let snapshot = b.encode_snapshot();
+            let mut buf = blob.slice(0..cut);
+            assert!(b.apply_encoded_entry("x", &mut buf).is_err(), "cut {cut}");
+            assert_eq!(b.encode_snapshot(), snapshot);
+        }
+        let mut padded = BytesMut::new();
+        padded.extend_from_slice(&blob);
+        padded.put_u8(0);
+        let mut buf = padded.freeze();
+        assert!(b.apply_encoded_entry("x", &mut buf).is_err());
+    }
+
+    #[test]
+    fn apply_contact_tracked_names_exactly_the_changed_keys() {
+        let mut a = KvStore::new(s(0));
+        let mut b = KvStore::new(s(1));
+        a.put("both", "base");
+        b.sync(&a).run().unwrap();
+        a.put("created", "new"); // will be created on b
+        a.put("both", "ff"); // will fast-forward on b
+        b.put("mine", "local"); // a never sees it: no outcome
+        let mut client = b.client_endpoint();
+        let mut server = a.server_endpoint();
+        let contact = run_contact(&mut client, &mut server).unwrap();
+        let (report, mut changed) = b
+            .apply_contact_tracked(&JoinResolver, client, &contact)
+            .unwrap();
+        changed.sort();
+        assert_eq!(changed, vec!["both".to_string(), "created".to_string()]);
+        assert_eq!(report.keys_created + report.keys_fast_forwarded, 2);
+
+        // A clean repeat pull changes nothing and names nothing.
+        let mut client = b.client_endpoint();
+        let mut server = a.server_endpoint();
+        let contact = run_contact(&mut client, &mut server).unwrap();
+        let before = b.generation();
+        let (_, changed) = b
+            .apply_contact_tracked(&JoinResolver, client, &contact)
+            .unwrap();
+        assert!(changed.is_empty());
+        assert_eq!(b.generation(), before);
     }
 
     #[test]

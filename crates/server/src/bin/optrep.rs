@@ -94,7 +94,8 @@ fn run(client: &mut Client, verb: &Verb) -> optrep_core::Result<()> {
             println!(
                 "site {} keys {} tracked {} generation {} \
                  conn-dials {} conn-contacts {} conn-live {} \
-                 uptime {} metrics-seq {}",
+                 uptime {} metrics-seq {} \
+                 wal-records {} wal-bytes {} wal-fsyncs {} ckpt-seq {}",
                 info.site,
                 info.keys,
                 info.tracked,
@@ -104,6 +105,10 @@ fn run(client: &mut Client, verb: &Verb) -> optrep_core::Result<()> {
                 info.conn_live,
                 info.uptime_secs,
                 info.metrics_seq,
+                info.wal_records,
+                info.wal_bytes,
+                info.wal_fsyncs,
+                info.wal_checkpoint_seq,
             );
         }),
         Verb::Digest => client.digest().map(|digest| println!("{digest:016x}")),

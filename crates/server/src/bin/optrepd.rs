@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! optrepd --site <id> --listen <addr> [--peer <addr>]... [--gossip-ms <n>]
+//!         [--data-dir <path>] [--fsync always|interval[:ms]|never]
+//!         [--checkpoint-ms <n>]
 //! ```
 //!
 //! * `--site` — this replica's site id: a numeric index, a letter
@@ -11,6 +13,20 @@
 //! * `--peer` — a peer daemon to pull from periodically; repeatable.
 //! * `--gossip-ms` — gossip period in milliseconds (default 500 when
 //!   peers are given, off otherwise).
+//! * `--data-dir` — makes the daemon durable: every committed mutation
+//!   is WAL-logged here before it is acknowledged, checkpoints compact
+//!   the log in the background, and a restart (even after `kill -9`)
+//!   replays snapshot + WAL back to exactly the committed state. A
+//!   `recovered ...` line reports what boot replay found.
+//! * `--fsync` — when WAL appends reach the disk: `always` (an acked
+//!   write survives a crash), `interval[:ms]` (bounded loss, default
+//!   50 ms — the default policy), or `never` (the OS decides).
+//! * `--checkpoint-ms` — background checkpoint period (default 30000).
+//!
+//! On SIGINT/SIGTERM the daemon shuts down gracefully: it stops its
+//! threads, writes a final checkpoint, fsyncs the WAL, FINs pooled peer
+//! connections, and flushes any `OPTREP_OBS_JSONL`/`OPTREP_FLIGHT_JSONL`
+//! sinks before exiting.
 //!
 //! With the `obs` feature, `OPTREP_OBS_JSONL=<path>` streams every sync
 //! event the daemon's contacts emit to `<path>`; validate it with
@@ -26,13 +42,56 @@
 
 use optrep_core::SiteId;
 use optrep_replication::RetryPolicy;
-use optrep_server::{Node, NodeConfig};
+use optrep_server::{DurabilityConfig, FsyncPolicy, Node, NodeConfig};
 use std::net::SocketAddr;
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: optrepd --site <id> --listen <addr> [--peer <addr>]... [--gossip-ms <n>]");
+    eprintln!(
+        "usage: optrepd --site <id> --listen <addr> [--peer <addr>]... [--gossip-ms <n>]\n\
+         \x20              [--data-dir <path>] [--fsync always|interval[:ms]|never] \
+         [--checkpoint-ms <n>]"
+    );
     std::process::exit(2)
+}
+
+/// SIGINT/SIGTERM latch (unix): the handler only flips an atomic; the
+/// main thread polls it and runs the actual shutdown outside signal
+/// context. Installed with `signal(2)` bound directly — the same
+/// no-libc-crate FFI discipline `optrep_net::reactor` uses for
+/// `poll(2)`.
+#[cfg(unix)]
+mod signals {
+    use std::ffi::c_int;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        // Only async-signal-safe work here: one atomic store.
+        REQUESTED.store(true, Ordering::Release);
+    }
+
+    /// Installs the latch for SIGINT and SIGTERM.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(c_int) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// Whether a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::Acquire)
+    }
 }
 
 fn parse_site(s: &str) -> SiteId {
@@ -57,6 +116,9 @@ fn main() {
     let mut listen: Option<SocketAddr> = None;
     let mut peers: Vec<SocketAddr> = Vec::new();
     let mut gossip_ms: Option<u64> = None;
+    let mut data_dir: Option<String> = None;
+    let mut fsync: Option<FsyncPolicy> = None;
+    let mut checkpoint_ms: Option<u64> = None;
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
             args.next().unwrap_or_else(|| {
@@ -74,6 +136,27 @@ fn main() {
                     Ok(ms) => gossip_ms = Some(ms),
                     Err(_) => {
                         eprintln!("optrepd: bad gossip period: {raw}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--data-dir" => data_dir = Some(value("--data-dir")),
+            "--fsync" => {
+                let raw = value("--fsync");
+                match FsyncPolicy::parse(&raw) {
+                    Some(policy) => fsync = Some(policy),
+                    None => {
+                        eprintln!("optrepd: bad fsync policy: {raw}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--checkpoint-ms" => {
+                let raw = value("--checkpoint-ms");
+                match raw.parse::<u64>() {
+                    Ok(ms) => checkpoint_ms = Some(ms),
+                    Err(_) => {
+                        eprintln!("optrepd: bad checkpoint period: {raw}");
                         std::process::exit(2);
                     }
                 }
@@ -99,6 +182,23 @@ fn main() {
     if let Some(interval) = gossip {
         config = config.with_gossip(interval);
     }
+    match data_dir {
+        Some(dir) => {
+            let mut durability = DurabilityConfig::new(dir);
+            if let Some(policy) = fsync {
+                durability = durability.with_fsync(policy);
+            }
+            if let Some(ms) = checkpoint_ms {
+                durability = durability.with_checkpoint_interval(Duration::from_millis(ms.max(1)));
+            }
+            config = config.with_durability(durability);
+        }
+        None if fsync.is_some() || checkpoint_ms.is_some() => {
+            eprintln!("optrepd: --fsync/--checkpoint-ms need --data-dir");
+            std::process::exit(2);
+        }
+        None => {}
+    }
     run_traced(config);
 }
 
@@ -121,9 +221,42 @@ fn run_traced(config: NodeConfig) {
                 std::process::exit(1);
             }
         };
+        if let Some(replay) = node.replay_report() {
+            println!(
+                "optrepd site {} recovered {} entries \
+                 (snapshot {} bytes seq {}, wal {} applied {} skipped{}) in {:?}",
+                node.site(),
+                replay.entries,
+                replay.snapshot_bytes,
+                replay.snapshot_seq,
+                replay.wal_records_applied,
+                replay.wal_records_skipped,
+                if replay.torn_tail {
+                    ", torn tail dropped"
+                } else {
+                    ""
+                },
+                replay.elapsed,
+            );
+        }
         println!("optrepd site {} listening on {}", node.site(), node.addr());
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
+        // Unix: watch for SIGINT/SIGTERM and shut down gracefully —
+        // final checkpoint, WAL fsync, pooled connections FINned — then
+        // return so the obs scope below flushes its sinks on the way
+        // out. Elsewhere: block until killed, as before.
+        #[cfg(unix)]
+        {
+            signals::install();
+            while !signals::requested() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            println!("optrepd site {} shutting down", node.site());
+            let _ = std::io::stdout().flush();
+            node.stop();
+        }
+        #[cfg(not(unix))]
         node.wait();
     };
     let trace_path = env_path("OPTREP_OBS_JSONL");

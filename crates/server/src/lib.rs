@@ -23,7 +23,9 @@
 
 pub mod client;
 pub mod node;
+pub mod persist;
 pub mod proto;
 
 pub use client::Client;
 pub use node::{Node, NodeConfig};
+pub use persist::{DurabilityConfig, FsyncPolicy, Persist, ReplayReport};

@@ -42,8 +42,11 @@
 //! A connection that dies mid-contact therefore aborts before anything
 //! is staged, leaving the store byte-identical.
 
+use crate::persist::{DurabilityConfig, Persist, ReplayReport};
 use crate::proto::{Request, Response, StatusInfo};
-use optrep_core::obs::metrics::{Gauge, Histogram, MetricsRegistry, MetricsSink, MetricsSnapshot};
+use optrep_core::obs::metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSink, MetricsSnapshot,
+};
 use optrep_core::obs::{self, Sink};
 use optrep_core::wire::{Handshake, Intent};
 use optrep_core::{Error, Result, SiteId};
@@ -98,6 +101,10 @@ pub struct NodeConfig {
     /// turn it off to measure the sink's own overhead. Gauges and the
     /// runtime-internal histograms stay live either way.
     pub metrics_events: bool,
+    /// Durable state (write-ahead log + snapshot checkpoints) in a data
+    /// dir. `None` — the default — keeps the store memory-only, exactly
+    /// the pre-durability behavior.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl NodeConfig {
@@ -112,6 +119,7 @@ impl NodeConfig {
             retry: RetryPolicy::default(),
             connect: ConnectOptions::default(),
             metrics_events: true,
+            durability: None,
         }
     }
 
@@ -150,6 +158,20 @@ impl NodeConfig {
         self.metrics_events = enabled;
         self
     }
+
+    /// Makes the node durable with these WAL/checkpoint settings.
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Makes the node durable in `data_dir` with the default policies
+    /// (what `optrepd --data-dir` without further flags gives).
+    #[must_use]
+    pub fn with_data_dir(self, data_dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_durability(DurabilityConfig::new(data_dir))
+    }
 }
 
 /// A finished blocking verb on its way back from the executor to the
@@ -179,6 +201,24 @@ struct NodeMetrics {
     write_backlog_bytes: Arc<Histogram>,
     /// Peers whose every pull attempt failed in the last gossip pass.
     quarantined_peers: Arc<Gauge>,
+    /// WAL records appended (one per committed mutation).
+    wal_records_total: Arc<Counter>,
+    /// WAL record bytes appended.
+    wal_bytes_total: Arc<Counter>,
+    /// WAL fsyncs issued (per-append under `always`, batched under
+    /// `interval`).
+    wal_fsyncs_total: Arc<Counter>,
+    /// Snapshot checkpoints written.
+    checkpoints_total: Arc<Counter>,
+    /// Current WAL file length (header included); sampled at scrape.
+    wal_size_bytes: Arc<Gauge>,
+    /// WAL sequence the on-disk snapshot covers.
+    checkpoint_seq: Arc<Gauge>,
+    /// Boot recovery wall-clock — one sample per replay, so restarts
+    /// accumulate a recovery-time distribution in the same registry.
+    replay_micros: Arc<Histogram>,
+    /// Checkpoint wall-clock (snapshot encode + atomic writes + trim).
+    checkpoint_micros: Arc<Histogram>,
     #[cfg(unix)]
     reactor: optrep_net::reactor::ReactorMetrics,
 }
@@ -195,6 +235,14 @@ impl NodeMetrics {
             verb_service_micros: registry.histogram("optrep_verb_service_micros"),
             write_backlog_bytes: registry.histogram("optrep_write_backlog_bytes"),
             quarantined_peers: registry.gauge("optrep_quarantined_peers"),
+            wal_records_total: registry.counter("optrep_wal_records_total"),
+            wal_bytes_total: registry.counter("optrep_wal_bytes_total"),
+            wal_fsyncs_total: registry.counter("optrep_wal_fsyncs_total"),
+            checkpoints_total: registry.counter("optrep_checkpoints_total"),
+            wal_size_bytes: registry.gauge("optrep_wal_size_bytes"),
+            checkpoint_seq: registry.gauge("optrep_checkpoint_seq"),
+            replay_micros: registry.histogram("optrep_replay_micros"),
+            checkpoint_micros: registry.histogram("optrep_checkpoint_micros"),
             #[cfg(unix)]
             reactor: optrep_net::reactor::ReactorMetrics::register(registry, "optrep_reactor"),
         }
@@ -206,6 +254,17 @@ impl NodeMetrics {
 struct Shared {
     site: SiteId,
     store: Mutex<KvStore>,
+    /// The durable layer (WAL append handle + checkpoint bookkeeping),
+    /// when configured. **Lock order is store → persist**: every
+    /// appender holds the store lock across its append, and a
+    /// checkpoint acquires persist while still holding store, so the
+    /// two locks together always frame a frozen (store, WAL seq) pair.
+    /// Never acquire the store lock while holding this one.
+    persist: Option<Mutex<Persist>>,
+    /// Durability settings (the background task's checkpoint cadence).
+    durability: Option<DurabilityConfig>,
+    /// What boot recovery found (durable nodes only).
+    replay: Option<ReplayReport>,
     resolver: JoinResolver,
     peers: Vec<SocketAddr>,
     retry: RetryPolicy,
@@ -252,6 +311,57 @@ impl Shared {
         }
     }
 
+    /// Locks the durable layer, if there is one (same poison recovery
+    /// as [`Shared::store`]).
+    fn persist(&self) -> Option<MutexGuard<'_, Persist>> {
+        self.persist.as_ref().map(|persist| match persist.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        })
+    }
+
+    /// Logs the post-states of `keys` as **one** WAL record — a whole
+    /// committed mutation, whether a single `put` or everything an
+    /// `apply_contact` changed — before that mutation is acknowledged.
+    /// Call with the store lock held (the `store` argument is the
+    /// guard's referent), so record order matches commit order and a
+    /// checkpoint holding both locks sees a frozen pair. No-op on a
+    /// memory-only node or an empty commit.
+    ///
+    /// # Errors
+    ///
+    /// The append or fsync failure; the caller reports it instead of
+    /// acknowledging (the in-memory commit stands — it dies with the
+    /// process either way, which is exactly what the log now fails to
+    /// prevent).
+    fn wal_append(&self, store: &KvStore, keys: &[String]) -> Result<()> {
+        let Some(mut persist) = self.persist() else {
+            return Ok(());
+        };
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let changed: Vec<(String, bytes::Bytes)> = keys
+            .iter()
+            .filter_map(|key| store.encode_entry(key).map(|entry| (key.clone(), entry)))
+            .collect();
+        debug_assert_eq!(changed.len(), keys.len(), "changed keys must be tracked");
+        let fsyncs_before = persist.fsyncs();
+        match persist.append(&changed) {
+            Ok(bytes) => {
+                let m = &self.metrics;
+                m.wal_records_total.inc();
+                m.wal_bytes_total.add(bytes);
+                m.wal_fsyncs_total.add(persist.fsyncs() - fsyncs_before);
+                Ok(())
+            }
+            Err(e) => Err(Error::UnexpectedMessage {
+                protocol: "wal",
+                message: format!("append failed: {e}"),
+            }),
+        }
+    }
+
     #[cfg(unix)]
     fn completions(&self) -> MutexGuard<'_, Vec<VerbDone>> {
         match self.completions.lock() {
@@ -274,6 +384,7 @@ pub struct Node {
     addr: SocketAddr,
     core: Option<std::thread::JoinHandle<()>>,
     gossip: Option<std::thread::JoinHandle<()>>,
+    persist: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Node {
@@ -281,10 +392,17 @@ impl Node {
     /// gossip thread, if configured). Returns once the node is
     /// reachable.
     ///
+    /// On a durable node ([`NodeConfig::with_durability`]), the data
+    /// dir is recovered first — snapshot, then WAL, dropping a torn
+    /// tail — and the node starts serving the recovered store; see
+    /// [`Node::replay_report`] for what recovery found.
+    ///
     /// # Errors
     ///
     /// [`Error::UnexpectedMessage`] if the listen address cannot be
-    /// bound — an environment problem, not link weather.
+    /// bound — an environment problem, not link weather — or if the
+    /// data dir fails to recover (I/O trouble, a foreign site's files,
+    /// or log corruption anywhere before the tail).
     pub fn start(config: NodeConfig) -> Result<Node> {
         let listener = TcpListener::bind(config.listen).map_err(|e| Error::UnexpectedMessage {
             protocol: "daemon",
@@ -319,9 +437,24 @@ impl Node {
         if config.metrics_events {
             sinks.push(Arc::clone(&metrics_sink));
         }
+        // Recover durable state before the listener serves anything:
+        // the first verb must already see the replayed store.
+        let (persist, store, replay) = match config.durability.as_ref() {
+            Some(durability) => {
+                let (persist, store, report) = Persist::open(durability, config.site)?;
+                metrics
+                    .replay_micros
+                    .record(report.elapsed.as_micros() as u64);
+                (Some(Mutex::new(persist)), store, Some(report))
+            }
+            None => (None, KvStore::new(config.site), None),
+        };
         let shared = Arc::new(Shared {
             site: config.site,
-            store: Mutex::new(KvStore::new(config.site)),
+            store: Mutex::new(store),
+            persist,
+            durability: config.durability,
+            replay,
             resolver: JoinResolver,
             peers: config.peers,
             retry: config.retry,
@@ -359,11 +492,16 @@ impl Node {
                 obs::with_all(shared.sinks.clone(), || gossip_loop(&shared, interval))
             })
         });
+        let persist = shared.persist.is_some().then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || persist_loop(&shared))
+        });
         Ok(Node {
             shared,
             addr,
             core: Some(core),
             gossip,
+            persist,
         })
     }
 
@@ -378,9 +516,44 @@ impl Node {
     }
 
     /// Runs `f` with the store locked — the in-process equivalent of a
-    /// verb session, for embedding and tests.
+    /// verb session, for embedding and tests. Mutations made here
+    /// bypass the WAL: this is the raw-store escape hatch, not the
+    /// durable write path ([`Node::put`]/[`Node::delete`] are).
     pub fn with_store<R>(&self, f: impl FnOnce(&mut KvStore) -> R) -> R {
         f(&mut self.shared.store())
+    }
+
+    /// Writes `key` through the full verb path — on a durable node the
+    /// post-state is WAL-logged before this returns — without a socket.
+    ///
+    /// # Errors
+    ///
+    /// The WAL append/fsync failure on a durable node (never errs on a
+    /// memory-only one).
+    pub fn put(&self, key: impl Into<String>, value: impl Into<bytes::Bytes>) -> Result<()> {
+        let key = key.into();
+        let mut store = self.shared.store();
+        store.put(key.clone(), value);
+        self.shared.wal_append(&store, std::slice::from_ref(&key))
+    }
+
+    /// Deletes `key` through the full verb path, durably on a durable
+    /// node (the logged post-state is the tombstone).
+    ///
+    /// # Errors
+    ///
+    /// The WAL append/fsync failure on a durable node.
+    pub fn delete(&self, key: impl Into<String>) -> Result<()> {
+        let key = key.into();
+        let mut store = self.shared.store();
+        store.delete(key.clone());
+        self.shared.wal_append(&store, std::slice::from_ref(&key))
+    }
+
+    /// What boot recovery found in the data dir (`None` on a
+    /// memory-only node).
+    pub fn replay_report(&self) -> Option<ReplayReport> {
+        self.shared.replay
     }
 
     /// The site-independent replica digest (`optrep digest`).
@@ -423,24 +596,35 @@ impl Node {
 
     /// Blocks until the node is stopped.
     pub fn wait(mut self) {
-        if let Some(core) = self.core.take() {
-            let _ = core.join();
-        }
-        if let Some(gossip) = self.gossip.take() {
-            let _ = gossip.join();
-        }
+        self.join_threads();
     }
 
-    /// Stops the connection core and gossip threads and waits for them.
+    /// Stops the connection core, gossip, and durability threads,
+    /// waits for them, then settles durable state — final checkpoint,
+    /// WAL fsync — and FINs the pooled peer connections. After this
+    /// returns, a durable node's data dir holds a fresh snapshot and an
+    /// empty log: the next boot replays nothing.
     pub fn stop(mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         #[cfg(unix)]
         self.shared.waker.wake();
+        self.join_threads();
+        checkpoint_now(&self.shared);
+        if let Some(mut persist) = self.shared.persist() {
+            let _ = persist.sync();
+        }
+        self.shared.pool.clear();
+    }
+
+    fn join_threads(&mut self) {
         if let Some(core) = self.core.take() {
             let _ = core.join();
         }
         if let Some(gossip) = self.gossip.take() {
             let _ = gossip.join();
+        }
+        if let Some(persist) = self.persist.take() {
+            let _ = persist.join();
         }
     }
 }
@@ -1016,6 +1200,10 @@ fn refresh_gauges(shared: &Shared) {
     m.store_generation.set(generation);
     m.conn_live.set(shared.pool.live() as u64);
     m.uptime_secs.set(shared.started.elapsed().as_secs());
+    if let Some(persist) = shared.persist() {
+        m.wal_size_bytes.set(persist.wal_len());
+        m.checkpoint_seq.set(persist.snapshot_seq());
+    }
 }
 
 /// Executes one client verb against the shared store, timing it into
@@ -1037,12 +1225,22 @@ fn dispatch_request(shared: &Shared, request: Request) -> Response {
             Response::Value(store.get(&key).map(bytes::Bytes::copy_from_slice))
         }
         Request::Put { key, value } => {
-            shared.store().put(key, value);
-            Response::Ok
+            // The guard spans mutate + WAL append: log order is commit
+            // order, and the ack only goes out once the record is down.
+            let mut store = shared.store();
+            store.put(key.clone(), value);
+            match shared.wal_append(&store, std::slice::from_ref(&key)) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(format!("{e}")),
+            }
         }
         Request::Delete { key } => {
-            shared.store().delete(key);
-            Response::Ok
+            let mut store = shared.store();
+            store.delete(key.clone());
+            match shared.wal_append(&store, std::slice::from_ref(&key)) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(format!("{e}")),
+            }
         }
         Request::Status => {
             let (keys, tracked, generation) = {
@@ -1054,6 +1252,15 @@ fn dispatch_request(shared: &Shared, request: Request) -> Response {
                 )
             };
             let totals = shared.pool.totals();
+            let (wal_records, wal_bytes, wal_fsyncs, wal_checkpoint_seq) = match shared.persist() {
+                Some(persist) => (
+                    persist.records(),
+                    persist.appended_bytes(),
+                    persist.fsyncs(),
+                    persist.snapshot_seq(),
+                ),
+                None => (0, 0, 0, 0),
+            };
             Response::Status(StatusInfo {
                 site: shared.site.index(),
                 keys,
@@ -1064,6 +1271,10 @@ fn dispatch_request(shared: &Shared, request: Request) -> Response {
                 conn_live: shared.pool.live() as u64,
                 uptime_secs: shared.started.elapsed().as_secs(),
                 metrics_seq: shared.registry.seq(),
+                wal_records,
+                wal_bytes,
+                wal_fsyncs,
+                wal_checkpoint_seq,
             })
         }
         Request::Digest => Response::Digest(shared.store().replica_digest()),
@@ -1104,17 +1315,99 @@ fn pull_from(shared: &Shared, peer: SocketAddr) -> Result<KvSyncReport> {
             let report = run_contact_pipelined(&mut client, link)?;
             Ok((generation, client, report))
         })?;
+        // Commit: generation re-check, transactional apply, and WAL
+        // append all under ONE store guard. A local write that raced
+        // the network exchange forces a retry; once the check passes,
+        // nothing can land between it and the commit, and the log
+        // record (the whole contact as one record) freezes inside the
+        // same critical section the commit does.
         let mut store = shared.store();
         if store.generation() != generation {
             continue;
         }
-        return store.apply_contact(&shared.resolver, client, &report);
+        let (synced, changed) = store.apply_contact_tracked(&shared.resolver, client, &report)?;
+        shared.wal_append(&store, &changed)?;
+        return Ok(synced);
     }
     // Local writes outran every attempt; the next gossip tick will
     // carry them anyway.
     Err(Error::Incomplete {
         protocol: "daemon pull",
     })
+}
+
+/// The durability tick: a backstop fsync for the `interval` policy
+/// (appends only sync opportunistically — a quiet log would otherwise
+/// sit dirty forever) and periodic checkpoints, taken on schedule or
+/// early once the WAL outgrows the configured size.
+fn persist_loop(shared: &Arc<Shared>) {
+    const TICK: Duration = Duration::from_millis(25);
+    let Some(config) = shared.durability.clone() else {
+        return;
+    };
+    let mut last_checkpoint = Instant::now();
+    while !shared.stopping() {
+        sleep_watching(shared, TICK);
+        if shared.stopping() {
+            return;
+        }
+        let (sync_due, checkpoint_due) = match shared.persist() {
+            Some(persist) => (
+                persist.fsync_due(),
+                persist.needs_checkpoint()
+                    && (last_checkpoint.elapsed() >= config.checkpoint_interval
+                        || persist.wal_len() >= config.checkpoint_wal_bytes),
+            ),
+            None => return,
+        };
+        if sync_due {
+            if let Some(mut persist) = shared.persist() {
+                if let Ok(true) = persist.sync() {
+                    shared.metrics.wal_fsyncs_total.inc();
+                }
+            }
+        }
+        if checkpoint_due {
+            checkpoint_now(shared);
+            last_checkpoint = Instant::now();
+        }
+    }
+}
+
+/// Writes a checkpoint right now (if the WAL holds anything the
+/// snapshot doesn't). The store lock freezes appends while the
+/// snapshot is encoded *and* while the persist lock is acquired —
+/// every appender holds store across its append, so once both guards
+/// are held the image and `Persist::seq` describe the same instant;
+/// the store guard is then released and the slow file work (two atomic
+/// swaps) proceeds under the persist guard alone, appends queueing
+/// behind it rather than landing in the log being truncated.
+fn checkpoint_now(shared: &Shared) -> bool {
+    if shared.persist.is_none() {
+        return false;
+    }
+    let started = Instant::now();
+    let store = shared.store();
+    let image = store.encode_snapshot();
+    let Some(mut persist) = shared.persist() else {
+        return false;
+    };
+    drop(store);
+    if !persist.needs_checkpoint() {
+        return false;
+    }
+    match persist.checkpoint(&image) {
+        Ok(()) => {
+            let m = &shared.metrics;
+            m.checkpoints_total.inc();
+            m.checkpoint_micros
+                .record(started.elapsed().as_micros() as u64);
+            true
+        }
+        // Checkpointing is an optimization; the old snapshot + full
+        // log still recover. The next tick retries.
+        Err(_) => false,
+    }
 }
 
 /// Pulls from each configured peer in turn, one pass per `interval`,

@@ -76,6 +76,15 @@ pub struct StatusInfo {
     /// Metrics snapshots the daemon has served so far (0 from
     /// pre-metrics daemons — no registry, nothing ever scraped).
     pub metrics_seq: u64,
+    /// WAL records appended since start (0 on a memory-only daemon —
+    /// and likewise for the three fields below).
+    pub wal_records: u64,
+    /// WAL record bytes appended since start.
+    pub wal_bytes: u64,
+    /// WAL fsyncs issued since start.
+    pub wal_fsyncs: u64,
+    /// WAL sequence the last snapshot checkpoint covers.
+    pub wal_checkpoint_seq: u64,
 }
 
 /// The daemon's answer to one [`Request`].
@@ -298,6 +307,10 @@ impl Response {
                 // this decoder.
                 wire::put_varint(&mut buf, info.uptime_secs);
                 wire::put_varint(&mut buf, info.metrics_seq);
+                wire::put_varint(&mut buf, info.wal_records);
+                wire::put_varint(&mut buf, info.wal_bytes);
+                wire::put_varint(&mut buf, info.wal_fsyncs);
+                wire::put_varint(&mut buf, info.wal_checkpoint_seq);
             }
             Response::Digest(digest) => {
                 buf.put_u8(RESP_DIGEST);
@@ -370,6 +383,10 @@ impl Response {
                     conn_live: wire::get_varint(buf)?,
                     uptime_secs: 0,
                     metrics_seq: 0,
+                    wal_records: 0,
+                    wal_bytes: 0,
+                    wal_fsyncs: 0,
+                    wal_checkpoint_seq: 0,
                 };
                 // Optional tail: fields appended by this or any later
                 // protocol revision. A short payload (old daemon) leaves
@@ -382,6 +399,18 @@ impl Response {
                 }
                 if buf.has_remaining() {
                     info.metrics_seq = wire::get_varint(buf)?;
+                }
+                if buf.has_remaining() {
+                    info.wal_records = wire::get_varint(buf)?;
+                }
+                if buf.has_remaining() {
+                    info.wal_bytes = wire::get_varint(buf)?;
+                }
+                if buf.has_remaining() {
+                    info.wal_fsyncs = wire::get_varint(buf)?;
+                }
+                if buf.has_remaining() {
+                    info.wal_checkpoint_seq = wire::get_varint(buf)?;
                 }
                 while buf.has_remaining() {
                     let _ = wire::get_varint(buf)?;
@@ -465,6 +494,10 @@ mod tests {
                 conn_live: 1,
                 uptime_secs: 3600,
                 metrics_seq: 12,
+                wal_records: 57,
+                wal_bytes: 9001,
+                wal_fsyncs: 7,
+                wal_checkpoint_seq: 40,
             }),
             Response::Digest(u64::MAX),
             Response::Synced(KvSyncReport {
@@ -552,6 +585,10 @@ mod tests {
             conn_live: 2,
             uptime_secs: 120,
             metrics_seq: 5,
+            wal_records: 30,
+            wal_bytes: 4096,
+            wal_fsyncs: 3,
+            wal_checkpoint_seq: 28,
         };
 
         // A pre-metrics daemon: only the original seven fields.
@@ -575,6 +612,10 @@ mod tests {
             Response::Status(StatusInfo {
                 uptime_secs: 0,
                 metrics_seq: 0,
+                wal_records: 0,
+                wal_bytes: 0,
+                wal_fsyncs: 0,
+                wal_checkpoint_seq: 0,
                 ..info
             })
         );
@@ -595,7 +636,7 @@ mod tests {
         // the cut lands mid-varint, so put a multi-byte value last and
         // slice one byte off it.
         let long_tail = Response::Status(StatusInfo {
-            metrics_seq: 300, // two-byte varint at the very end
+            wal_checkpoint_seq: 300, // two-byte varint at the very end
             ..info
         })
         .encode();

@@ -47,7 +47,10 @@ fn arb_status() -> impl Strategy<Value = StatusInfo> {
         any::<u64>(),
         any::<u64>(),
         (any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>()),
+        (
+            (any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        ),
     )
         .prop_map(
             |(
@@ -56,7 +59,10 @@ fn arb_status() -> impl Strategy<Value = StatusInfo> {
                 tracked,
                 generation,
                 (conn_dials, conn_contacts, conn_live),
-                (uptime_secs, metrics_seq),
+                (
+                    (uptime_secs, metrics_seq),
+                    (wal_records, wal_bytes, wal_fsyncs, wal_checkpoint_seq),
+                ),
             )| {
                 StatusInfo {
                     site,
@@ -68,6 +74,10 @@ fn arb_status() -> impl Strategy<Value = StatusInfo> {
                     conn_live,
                     uptime_secs,
                     metrics_seq,
+                    wal_records,
+                    wal_bytes,
+                    wal_fsyncs,
+                    wal_checkpoint_seq,
                 }
             },
         )
@@ -193,6 +203,13 @@ proptest! {
                 prop_assert_eq!(got.conn_live, status.conn_live);
                 prop_assert!(got.uptime_secs == status.uptime_secs || got.uptime_secs == 0);
                 prop_assert!(got.metrics_seq == status.metrics_seq || got.metrics_seq == 0);
+                prop_assert!(got.wal_records == status.wal_records || got.wal_records == 0);
+                prop_assert!(got.wal_bytes == status.wal_bytes || got.wal_bytes == 0);
+                prop_assert!(got.wal_fsyncs == status.wal_fsyncs || got.wal_fsyncs == 0);
+                prop_assert!(
+                    got.wal_checkpoint_seq == status.wal_checkpoint_seq
+                        || got.wal_checkpoint_seq == 0
+                );
             }
         }
         // The full encoding itself always decodes.

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Three-daemon loopback smoke test: launch three `optrepd` processes on
-# ephemeral ports, write divergent keys (including a conflict and a
-# tombstone) through the `optrep` client, pull the full mesh to
-# convergence with `optrep sync`, and require byte-identical replica
-# digests. Every daemon runs with OPTREP_OBS_JSONL set, and each trace
-# is validated by `tables --check-jsonl` (schema + conservation
-# invariants) at the end.
+# Three-daemon loopback smoke test: launch three durable `optrepd`
+# processes on ephemeral ports, write divergent keys (including a
+# conflict and a tombstone) through the `optrep` client, pull the full
+# mesh to convergence with `optrep sync`, and require byte-identical
+# replica digests. One daemon is then killed with SIGKILL mid-gossip
+# and restarted on the same data dir: it must reboot from snapshot+WAL
+# and the fleet must reconverge. Every daemon runs with
+# OPTREP_OBS_JSONL set, and each trace is validated by
+# `tables --check-jsonl` (schema + conservation invariants) at the end.
 #
 # Usage: scripts/smoke_cluster.sh   (from the repo root; builds release
 # binaries if they are missing)
@@ -17,21 +19,23 @@ if [[ ! -x "$BIN/optrepd" || ! -x "$BIN/optrep" || ! -x "$BIN/tables" ]]; then
 fi
 
 WORK="$(mktemp -d)"
-PIDS=()
 cleanup() {
-    kill "${PIDS[@]}" 2>/dev/null || true
-    wait 2>/dev/null || true
+    # shellcheck disable=SC2046 # pid-per-word is the point
+    kill $(cat "$WORK"/*.pid 2>/dev/null) 2>/dev/null || true
     rm -rf "$WORK"
 }
 trap cleanup EXIT
 
-# start <site-letter>: launches a traced daemon on an ephemeral port and
-# echoes its bound address (parsed from the startup line).
+# start <site-letter>: launches a traced durable daemon on an ephemeral
+# port and echoes its bound address (parsed from the startup line). The
+# pid lands in $WORK/<site>.pid — `start` runs inside $(...), so a
+# parent-shell array would never see the assignment.
 start() {
     local site="$1" log="$WORK/$1.log"
     OPTREP_OBS_JSONL="$WORK/$site.jsonl" \
-        "$BIN/optrepd" --site "$site" --listen 127.0.0.1:0 >"$log" 2>&1 &
-    PIDS+=($!)
+        "$BIN/optrepd" --site "$site" --listen 127.0.0.1:0 \
+        --data-dir "$WORK/$site.data" --fsync always >"$log" 2>&1 &
+    echo $! >"$WORK/$site.pid"
     for _ in $(seq 100); do
         if grep -q 'listening on' "$log"; then
             sed -n 's/.*listening on //p' "$log" | head -1
@@ -167,11 +171,67 @@ if [[ "$(grep -c . <<<"$top")" != 4 ]] || grep -q unreachable <<<"$top" \
 fi
 echo "optrep top rendered the fleet"
 
-# Stop the daemons so the traces are complete, then validate each one.
-kill "${PIDS[@]}" 2>/dev/null || true
-wait 2>/dev/null || true
-PIDS=()
+# Durability under fire: SIGKILL daemon B mid-gossip, restart it on the
+# same data dir, and require the three digests to agree again — the
+# recovered daemon must reboot to exactly its committed state (whole
+# final contact or none; never a partial one) and then catch up.
+"$BIN/optrep" "$A" put epsilon pre-crash-a
+"$BIN/optrep" "$C" put zeta pre-crash-c
+(
+    # Gossip traffic for the kill to land in the middle of.
+    for _ in $(seq 200); do
+        "$BIN/optrep" "$B" sync "$A" >/dev/null 2>&1 || true
+        "$BIN/optrep" "$B" sync "$C" >/dev/null 2>&1 || true
+    done
+) &
+GOSSIP=$!
+sleep 0.1
+kill -9 "$(cat "$WORK/B.pid")"
+kill "$GOSSIP" 2>/dev/null || true
+wait "$GOSSIP" 2>/dev/null || true
+B="$(start B)"
+if ! grep -q ' recovered ' "$WORK/B.log"; then
+    echo "FAIL: restarted B printed no recovery line; log:" >&2
+    cat "$WORK/B.log" >&2
+    exit 1
+fi
+converged=""
+for round in 1 2 3 4; do
+    for dst in "$A" "$B" "$C"; do
+        for src in "$A" "$B" "$C"; do
+            [[ "$dst" == "$src" ]] || "$BIN/optrep" "$dst" sync "$src" >/dev/null
+        done
+    done
+    da="$("$BIN/optrep" "$A" digest)"
+    db="$("$BIN/optrep" "$B" digest)"
+    dc="$("$BIN/optrep" "$C" digest)"
+    if [[ "$da" == "$db" && "$db" == "$dc" ]]; then
+        converged="$da"
+        break
+    fi
+done
+if [[ -z "$converged" ]]; then
+    echo "FAIL: digests diverge after kill -9 recovery: A=$da B=$db C=$dc" >&2
+    exit 1
+fi
+[[ "$("$BIN/optrep" "$B" get epsilon)" == "pre-crash-a" ]]
+[[ "$("$BIN/optrep" "$B" get zeta)" == "pre-crash-c" ]]
+echo "kill -9 recovery verified: B rebooted from its WAL and the fleet reconverged"
+
+# Stop the daemons gracefully (SIGTERM): each writes a final checkpoint,
+# fsyncs its WAL, and flushes its trace before exiting. The daemons are
+# not this shell's children (start ran in a subshell), so poll for exit
+# instead of `wait`. Then validate each trace.
+for site in A B C; do
+    kill "$(cat "$WORK/$site.pid")" 2>/dev/null || true
+done
+for site in A B C; do
+    for _ in $(seq 100); do
+        kill -0 "$(cat "$WORK/$site.pid")" 2>/dev/null || break
+        sleep 0.05
+    done
+done
 for site in A B C; do
     "$BIN/tables" --check-jsonl "$WORK/$site.jsonl"
 done
-echo "smoke test passed: 3-node convergence + 3 validated traces"
+echo "smoke test passed: 3-node convergence + kill -9 recovery + 3 validated traces"
